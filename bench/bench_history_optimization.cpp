@@ -1,0 +1,101 @@
+// E5 -- the Section 5.1 optimization: full histories vs. cached suffixes.
+// Measures bytes-on-wire of history acks and history slots shipped as the
+// number of writes grows; full histories grow linearly per read (quadratic
+// cumulative), the optimized reader stays O(1) per read once warm.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/regular_reader.hpp"
+#include "harness/deployment.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "wire/codec.hpp"
+
+namespace {
+
+using namespace rr;
+
+struct Measurement {
+  std::uint64_t ack_bytes{0};
+  std::uint64_t slots{0};
+  std::uint64_t history_per_object{0};
+};
+
+Measurement measure(bool optimized, int writes) {
+  harness::DeploymentOptions opts;
+  opts.protocol = optimized ? harness::Protocol::RegularOptimized
+                            : harness::Protocol::Regular;
+  opts.res = Resilience::optimal(1, 1, 1);
+  opts.seed = 7;
+  harness::Deployment d(opts);
+  Measurement m;
+  // Interleave writes and reads so the reader's cache tracks the history.
+  for (int k = 0; k < writes; ++k) {
+    d.logged_write(static_cast<Time>(k) * 300'000,
+                   harness::value_for(static_cast<Ts>(k + 1)));
+    d.logged_read(static_cast<Time>(k) * 300'000 + 150'000, 0,
+                  [&d, &m](const core::ReadResult&) {
+                    m.slots += d.regular_reader(0).diag()
+                                   .history_slots_received;
+                  });
+  }
+  d.run();
+  // Bytes of HIST_ACK traffic (variant index of HistReadAckMsg).
+  constexpr std::size_t kHistAckIndex = 6;
+  static_assert(std::is_same_v<
+                std::variant_alternative_t<kHistAckIndex, wire::Message>,
+                wire::HistReadAckMsg>);
+  const auto it = d.world().stats().bytes_by_type.find(kHistAckIndex);
+  m.ack_bytes = it == d.world().stats().bytes_by_type.end() ? 0 : it->second;
+  return m;
+}
+
+void print_optimization_table() {
+  std::printf(
+      "\n=== E5: Section 5.1 history-suffix optimization (t=b=1, S=4, "
+      "read after every write) ===\n");
+  harness::Table table({"writes", "variant", "hist-ack bytes",
+                        "slots shipped", "bytes per read"});
+  for (const int writes : {5, 10, 20, 40, 80}) {
+    for (const bool optimized : {false, true}) {
+      const auto m = measure(optimized, writes);
+      table.add_row(writes, optimized ? "suffix (5.1)" : "full history",
+                    m.ack_bytes, m.slots,
+                    static_cast<double>(m.ack_bytes) / writes);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper, Section 5.1): full-history bytes/read grow "
+      "linearly with the\nnumber of past writes; the cached-suffix variant "
+      "stays flat -- 'drastically decreased'\nmessage size, identical "
+      "returned values.\n\n");
+}
+
+void BM_HistoryAckEncode(benchmark::State& state) {
+  const auto slots = static_cast<Ts>(state.range(0));
+  wire::HistReadAckMsg ack;
+  ack.round = 1;
+  ack.tsr = 1;
+  for (Ts k = 0; k <= slots; ++k) {
+    ack.history[k] = wire::HistEntry{TsVal{k, "vvvvvvvv"},
+                                     WTuple{TsVal{k, "vvvvvvvv"},
+                                            init_tsrarray(4)}};
+  }
+  const wire::Message msg{ack};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode(msg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HistoryAckEncode)->Range(1, 512)->Complexity(benchmark::oN);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_optimization_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E8 -- the resilience / round-complexity frontier. Sweeping the number of
+// base objects S from the optimal-resilience minimum 2t+b+1 up past 2t+2b
+// charts where each operation's round count drops:
+//   S in [2t+b+1, 2t+2b]  : writes need 2 rounds ([1]'s bound) and *every*
+//                           fast-read rule is unsafe (Proposition 1) -- the
+//                           GV06 2-round read is optimal here,
+//   S >= 2t+2b+1          : 1-round writes and 1-round reads suffice.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness/deployment.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "lowerbound/figure_one.hpp"
+
+namespace {
+
+using namespace rr;
+
+void print_frontier_table() {
+  const int t = 2, b = 2;
+  std::printf(
+      "\n=== E8: resilience frontier, t=%d b=%d (2t+b+1=%d, 2t+2b=%d) ===\n",
+      t, b, 2 * t + b + 1, 2 * t + 2 * b);
+  harness::Table table({"S", "regime", "protocol", "write rounds",
+                        "read rounds max", "fast read safe?", "violations"});
+
+  for (int S = 2 * t + b + 1; S <= 2 * t + 2 * b + 2; ++S) {
+    const bool beyond = S >= 2 * t + 2 * b + 1;
+    // (a) the GV06 safe storage runs at any S >= 2t+b+1 (extra objects are
+    // just more replicas).
+    {
+      harness::MixedWorkloadStats stats;
+      int violations = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        harness::DeploymentOptions opts;
+        opts.protocol = harness::Protocol::Safe;
+        opts.res = Resilience{S, t, b, 1};
+        opts.seed = seed * 1009;
+        opts.faults =
+            harness::FaultPlan::mixed(b, adversary::StrategyKind::Forger, 0);
+        harness::Deployment d(opts);
+        harness::sequential_then_reads(d, 6, 6, &stats);
+        d.run();
+        violations += static_cast<int>(d.check().violations.size());
+      }
+      table.add_row(S, beyond ? "> 2t+2b" : "<= 2t+2b", "gv06-safe",
+                    stats.writes.rounds_max(), stats.reads.rounds_max(), "-",
+                    violations);
+    }
+    // (b) the quorum-evidence family: 2-phase writes + polling reads below
+    // the frontier; 1-round writes + polling reads above it.
+    {
+      harness::MixedWorkloadStats stats;
+      int violations = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        harness::DeploymentOptions opts;
+        opts.protocol = beyond ? harness::Protocol::FastWrite
+                               : harness::Protocol::Polling;
+        opts.res = Resilience{S, t, b, 1};
+        opts.seed = seed * 2003;
+        opts.faults =
+            harness::FaultPlan::mixed(b, adversary::StrategyKind::Forger, 0);
+        harness::Deployment d(opts);
+        harness::sequential_then_reads(d, 6, 6, &stats);
+        d.run();
+        violations += static_cast<int>(d.check().violations.size());
+      }
+      table.add_row(S, beyond ? "> 2t+2b" : "<= 2t+2b",
+                    beyond ? "fastwrite" : "polling",
+                    stats.writes.rounds_max(), stats.reads.rounds_max(), "-",
+                    violations);
+    }
+    // (c) is a FAST (1-round) read safe at this S? Below the frontier the
+    // Figure 1 orchestration must violate safety; at/above it cannot be
+    // instantiated (it needs S = 2t+2b exactly) and the measured fastwrite
+    // read above already runs fast and clean.
+    if (S == 2 * t + 2 * b) {
+      Resilience res{S, t, b, 1};
+      const auto report = lowerbound::run_figure_one(
+          [&] { return lowerbound::make_strawman(res, true); }, res, "v1");
+      table.add_row(S, "<= 2t+2b", "any fast-read rule", "-", 1,
+                    report.safety_violated() ? "NO (Prop. 1)" : "yes",
+                    report.safety_violated() ? 1 : 0);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper + [1]): with S <= 2t+2b, writes cost 2 rounds "
+      "and fast reads\nare impossible (the GV06 2/2 rows are optimal); one "
+      "extra object past 2t+2b drops\nboth operations to a single round.\n\n");
+}
+
+void BM_FrontierSweep(benchmark::State& state) {
+  const int S = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    harness::DeploymentOptions opts;
+    opts.protocol = harness::Protocol::Safe;
+    opts.res = Resilience{S, 2, 2, 1};
+    opts.seed = 5;
+    harness::Deployment d(opts);
+    harness::sequential_then_reads(d, 4, 4);
+    benchmark::DoNotOptimize(d.run());
+  }
+}
+BENCHMARK(BM_FrontierSweep)->DenseRange(7, 11, 1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_frontier_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E3 -- Theorems 1 & 2 (safety + wait-freedom) as a statistical soak:
+// hundreds of randomized runs per configuration with fault injection,
+// counting completed operations and checker violations. Every cell must
+// read "0 violations / 0 stuck ops".
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness/deployment.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace rr;
+
+struct SoakResult {
+  int runs{0};
+  int ops{0};
+  int incomplete{0};
+  int violations{0};
+};
+
+SoakResult soak(harness::Protocol protocol, int t, int b, int seeds) {
+  SoakResult result;
+  for (int s = 1; s <= seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s) * 2654435761ULL +
+                      static_cast<std::uint64_t>(t * 100 + b);
+    Rng rng(seed);
+    harness::DeploymentOptions opts;
+    opts.protocol = protocol;
+    opts.res = Resilience::optimal(t, b, 1 + static_cast<int>(rng.index(3)));
+    opts.seed = seed;
+    const int byz = static_cast<int>(rng.uniform(0, static_cast<Ts>(b)));
+    const int crash =
+        static_cast<int>(rng.uniform(0, static_cast<Ts>(t - byz)));
+    const adversary::StrategyKind kinds[] = {
+        adversary::StrategyKind::Silent,   adversary::StrategyKind::Amnesiac,
+        adversary::StrategyKind::Forger,   adversary::StrategyKind::Accuser,
+        adversary::StrategyKind::Equivocator,
+        adversary::StrategyKind::Stagger,  adversary::StrategyKind::Collude,
+        adversary::StrategyKind::Random};
+    opts.faults = harness::FaultPlan::mixed(byz, kinds[rng.index(8)], crash);
+    opts.delay = rng.chance(0.3) ? harness::DelayKind::HeavyTail
+                                 : harness::DelayKind::Uniform;
+    opts.delay_lo = 500;
+    opts.delay_hi = rng.uniform(5'000, 150'000);
+    harness::Deployment d(opts);
+    harness::MixedWorkloadOptions w;
+    w.writes = 5 + static_cast<int>(rng.index(10));
+    w.reads_per_reader = 5 + static_cast<int>(rng.index(10));
+    w.write_gap = rng.uniform(100, 30'000);
+    w.read_gap = rng.uniform(100, 30'000);
+    harness::mixed_workload(d, w);
+    d.run();
+    ++result.runs;
+    for (const auto& op : d.log().snapshot()) {
+      ++result.ops;
+      if (!op.complete) ++result.incomplete;
+    }
+    result.violations += static_cast<int>(d.check().violations.size());
+  }
+  return result;
+}
+
+void print_soak_table(int seeds) {
+  std::printf(
+      "\n=== E3: safety & wait-freedom soak (%d randomized runs per row, "
+      "random faults/strategies/delays) ===\n",
+      seeds);
+  harness::Table table({"protocol", "t", "b", "runs", "ops completed",
+                        "stuck ops", "violations"});
+  for (const auto proto : {harness::Protocol::Safe, harness::Protocol::Regular,
+                           harness::Protocol::RegularOptimized}) {
+    for (const auto [t, b] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 3},
+                              {4, 2}}) {
+      const auto r = soak(proto, t, b, seeds);
+      table.add_row(harness::to_string(proto), t, b, r.runs,
+                    r.ops - r.incomplete, r.incomplete, r.violations);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): zero stuck operations (Theorem 2 / Theorem "
+      "4) and zero\nviolations (Theorem 1 / Theorem 3) in every row.\n\n");
+}
+
+void BM_SoakIteration(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    const auto r = soak(harness::Protocol::Safe, 2, 2, 1 + (i++ % 3));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SoakIteration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--soak_seeds=", 0) == 0) {
+      seeds = std::atoi(argv[i] + 13);
+    }
+  }
+  print_soak_table(seeds);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Latency explorer: how do deployment choices move read/write latency?
+//
+// Runs the deterministic simulator across protocol families, resilience
+// levels and network-delay distributions, printing a latency/round matrix.
+// This is the "capacity planning" view a storage operator would want before
+// choosing between the paper's 2-round optimally-resilient storage and the
+// alternatives (more objects for 1-round ops, or cryptography).
+//
+//   $ ./example_latency_explorer
+#include <cstdio>
+
+#include "harness/deployment.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+int main() {
+  using namespace rr;
+
+  harness::Table table({"protocol", "t", "b", "S", "delay model",
+                        "wr p50 us", "rd p50 us", "rd p99 us", "rd rounds"});
+
+  struct Config {
+    harness::Protocol protocol;
+    int t, b;
+  };
+  const Config configs[] = {
+      {harness::Protocol::Safe, 1, 1},
+      {harness::Protocol::Safe, 3, 3},
+      {harness::Protocol::Regular, 3, 3},
+      {harness::Protocol::Abd, 3, 0},
+      {harness::Protocol::FastWrite, 3, 3},
+      {harness::Protocol::Auth, 3, 3},
+  };
+  const std::pair<const char*, harness::DelayKind> delays[] = {
+      {"uniform 1-10us", harness::DelayKind::Uniform},
+      {"heavy-tail", harness::DelayKind::HeavyTail},
+      {"fixed 5us", harness::DelayKind::Fixed},
+  };
+
+  for (const auto& cfg : configs) {
+    for (const auto& [name, kind] : delays) {
+      harness::DeploymentOptions opts;
+      opts.protocol = cfg.protocol;
+      if (cfg.protocol == harness::Protocol::Abd) {
+        opts.res = Resilience{2 * cfg.t + 1, cfg.t, 0, 2};
+      } else if (cfg.protocol == harness::Protocol::FastWrite) {
+        opts.res = Resilience{2 * cfg.t + 2 * cfg.b + 1, cfg.t, cfg.b, 2};
+      } else {
+        opts.res = Resilience::optimal(cfg.t, cfg.b, 2);
+      }
+      opts.seed = 404;
+      opts.delay = kind;
+      opts.delay_lo = kind == harness::DelayKind::Fixed ? 5'000 : 1'000;
+      opts.delay_hi = kind == harness::DelayKind::HeavyTail ? 80'000 : 10'000;
+      harness::Deployment d(opts);
+      harness::MixedWorkloadStats stats;
+      harness::MixedWorkloadOptions w;
+      w.writes = 20;
+      w.reads_per_reader = 20;
+      harness::mixed_workload(d, w, &stats);
+      d.run();
+      if (!d.check().ok()) {
+        std::fprintf(stderr, "consistency violation!?\n%s\n",
+                     d.check().summary().c_str());
+        return 1;
+      }
+      table.add_row(harness::to_string(cfg.protocol), cfg.t, cfg.b,
+                    opts.res.num_objects, name,
+                    stats.writes.latency_p50() / 1000.0,
+                    stats.reads.latency_p50() / 1000.0,
+                    stats.reads.latency_p99() / 1000.0,
+                    stats.reads.rounds_max());
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading guide: gv06 pays ~2x one delay round-trip per operation at "
+      "minimal S;\nfastwrite halves latency by adding b objects; heavy tails "
+      "hurt everyone's p99 but\nnever stall anybody (wait-freedom).\n");
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Scenario CLI: drive any protocol deployment from the command line.
+//
+//   $ ./example_scenario_cli --protocol=safe --t=2 --b=2 --readers=3 \
+//       --byzantine=forger --crashes=0 --writes=20 --reads=20 \
+//       --chaos --seed=42
+//
+// Prints the run's operation log summary, round counts, network statistics
+// and the consistency verdict. Useful for poking at corner configurations
+// without writing a test.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/chaos.hpp"
+#include "harness/deployment.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "wire/messages.hpp"
+
+namespace {
+
+using namespace rr;
+
+struct Args {
+  std::string protocol = "safe";
+  int t = 2;
+  int b = 1;
+  int readers = 2;
+  std::string byzantine = "";  // strategy name, empty = none
+  int byz_count = -1;          // default: full budget b when strategy given
+  int crashes = 0;
+  int writes = 10;
+  int reads = 10;
+  bool chaos = false;
+  std::uint64_t seed = 1;
+  std::size_t history_limit = 0;
+
+  static std::optional<Args> parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* key) -> std::optional<std::string> {
+        const std::string prefix = std::string("--") + key + "=";
+        if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+        return std::nullopt;
+      };
+      if (auto v = value("protocol")) a.protocol = *v;
+      else if (auto v2 = value("t")) a.t = std::atoi(v2->c_str());
+      else if (auto v3 = value("b")) a.b = std::atoi(v3->c_str());
+      else if (auto v4 = value("readers")) a.readers = std::atoi(v4->c_str());
+      else if (auto v5 = value("byzantine")) a.byzantine = *v5;
+      else if (auto v6 = value("byz-count")) a.byz_count = std::atoi(v6->c_str());
+      else if (auto v7 = value("crashes")) a.crashes = std::atoi(v7->c_str());
+      else if (auto v8 = value("writes")) a.writes = std::atoi(v8->c_str());
+      else if (auto v9 = value("reads")) a.reads = std::atoi(v9->c_str());
+      else if (auto va = value("seed")) a.seed = std::strtoull(va->c_str(), nullptr, 10);
+      else if (auto vb = value("history-limit")) {
+        a.history_limit = std::strtoull(vb->c_str(), nullptr, 10);
+      } else if (arg == "--chaos") {
+        a.chaos = true;
+      } else if (arg == "--help" || arg == "-h") {
+        return std::nullopt;
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        return std::nullopt;
+      }
+    }
+    return a;
+  }
+};
+
+harness::Protocol protocol_from(const std::string& name) {
+  if (name == "safe") return harness::Protocol::Safe;
+  if (name == "regular") return harness::Protocol::Regular;
+  if (name == "regular-opt") return harness::Protocol::RegularOptimized;
+  if (name == "abd") return harness::Protocol::Abd;
+  if (name == "polling") return harness::Protocol::Polling;
+  if (name == "fastwrite") return harness::Protocol::FastWrite;
+  if (name == "auth") return harness::Protocol::Auth;
+  std::fprintf(stderr, "unknown protocol '%s', using safe\n", name.c_str());
+  return harness::Protocol::Safe;
+}
+
+void usage() {
+  std::printf(
+      "usage: example_scenario_cli [--protocol=safe|regular|regular-opt|abd|"
+      "polling|fastwrite|auth]\n"
+      "  [--t=N] [--b=N] [--readers=N] [--byzantine=STRATEGY] "
+      "[--byz-count=N]\n"
+      "  [--crashes=N] [--writes=N] [--reads=N] [--history-limit=N] "
+      "[--chaos] [--seed=N]\n"
+      "strategies: silent amnesiac forger accuser equivocator stagger "
+      "collude random\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = Args::parse(argc, argv);
+  if (!parsed) {
+    usage();
+    return 2;
+  }
+  const Args& a = *parsed;
+
+  harness::DeploymentOptions opts;
+  opts.protocol = protocol_from(a.protocol);
+  if (opts.protocol == harness::Protocol::Abd) {
+    opts.res = Resilience{2 * a.t + 1, a.t, 0, a.readers};
+  } else if (opts.protocol == harness::Protocol::FastWrite) {
+    opts.res = Resilience{2 * a.t + 2 * a.b + 1, a.t, a.b, a.readers};
+  } else {
+    opts.res = Resilience::optimal(a.t, a.b, a.readers);
+  }
+  opts.seed = a.seed;
+  opts.history_limit = a.history_limit;
+  int byz = 0;
+  if (!a.byzantine.empty()) {
+    byz = a.byz_count >= 0 ? a.byz_count : a.b;
+    opts.faults = harness::FaultPlan::mixed(
+        byz, adversary::strategy_from_name(a.byzantine), a.crashes);
+  } else if (a.crashes > 0) {
+    opts.faults = harness::FaultPlan::crash_only(a.crashes);
+  }
+
+  std::printf("deploying %s: S=%d t=%d b=%d readers=%d", a.protocol.c_str(),
+              opts.res.num_objects, opts.res.t, opts.res.b, a.readers);
+  if (byz > 0) std::printf(", %d x %s", byz, a.byzantine.c_str());
+  if (a.crashes > 0) std::printf(", %d crashed", a.crashes);
+  if (a.chaos) std::printf(", chaos on");
+  std::printf(", seed=%llu\n", static_cast<unsigned long long>(a.seed));
+
+  harness::Deployment d(opts);
+  if (a.chaos) {
+    harness::ChaosOptions chaos;
+    chaos.max_held = opts.res.t - opts.faults.total_faulty();
+    chaos.seed = a.seed * 31 + 7;
+    if (chaos.max_held > 0) harness::inject_chaos(d, chaos);
+  }
+  harness::MixedWorkloadStats stats;
+  harness::MixedWorkloadOptions w;
+  w.writes = a.writes;
+  w.reads_per_reader = a.reads;
+  harness::mixed_workload(d, w, &stats);
+  const auto events = d.run();
+
+  harness::Table table({"metric", "writes", "reads"});
+  table.add_row("operations", stats.writes.count(), stats.reads.count());
+  table.add_row("rounds (min/max)",
+                std::to_string(stats.writes.rounds_min()) + " / " +
+                    std::to_string(stats.writes.rounds_max()),
+                std::to_string(stats.reads.rounds_min()) + " / " +
+                    std::to_string(stats.reads.rounds_max()));
+  table.add_row("latency p50 us", stats.writes.latency_p50() / 1000.0,
+                stats.reads.latency_p50() / 1000.0);
+  table.add_row("latency p99 us", stats.writes.latency_p99() / 1000.0,
+                stats.reads.latency_p99() / 1000.0);
+  table.print();
+
+  const auto& net = d.world().stats();
+  std::printf("network: %llu msgs (%llu bytes) sent, %llu delivered, %llu "
+              "dropped; %llu events\n",
+              static_cast<unsigned long long>(net.messages_sent),
+              static_cast<unsigned long long>(net.bytes_sent),
+              static_cast<unsigned long long>(net.messages_delivered),
+              static_cast<unsigned long long>(net.messages_dropped),
+              static_cast<unsigned long long>(events));
+
+  int incomplete = 0;
+  for (const auto& op : d.log().snapshot()) {
+    if (!op.complete) ++incomplete;
+  }
+  const auto report = d.check();
+  std::printf("consistency (%s): %s; %d reads pinned, %d ops stuck\n",
+              a.protocol.c_str(),
+              report.ok() ? "OK" : "VIOLATED", report.reads_checked,
+              incomplete);
+  if (!report.ok()) {
+    std::printf("%s\n", report.summary().c_str());
+    return 1;
+  }
+  return incomplete == 0 ? 0 : 1;
+}

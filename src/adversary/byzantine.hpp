@@ -1,0 +1,66 @@
+// Byzantine base-object strategies.
+//
+// Every strategy is a drop-in replacement for an honest base object (it
+// speaks the same wire protocol) that lies in a particular way. The model
+// allows arbitrary behaviour; these strategies cover the attack classes that
+// matter for the paper's mechanisms:
+//
+//   silent       crash-like: never replies (tests quorum liveness).
+//   amnesiac     acks writes but serves reads from the initial state
+//                (staleness attack -- defeats any "trust one reply" rule).
+//   forger       fabricates a candidate with a higher timestamp and a
+//                plausible tsrarray (the attack the safe() predicate kills).
+//   accuser      fabricates a candidate whose embedded tsrarray accuses
+//                honest objects of huge reader timestamps (attacks round-1
+//                liveness through the conflict predicate).
+//   equivocator  sends the honest reply *plus* a per-reader distinct forged
+//                one (stresses multi-report bookkeeping; objects only count
+//                once in every cardinality predicate).
+//   stagger      escalates: each reply carries a fresh, higher forged
+//                candidate (drives the polling baseline towards its b+1
+//                worst case).
+//   collude      all colluders forge the *same* deterministic candidate
+//                (maximizes forged vouch counts: exactly b < b+1).
+//   random       coin-flips between honest behaviour, forging and silence.
+//
+// Strategies embed a real honest automaton (SafeObject or RegularObject by
+// flavor) and run it through a CapturingContext, so their write-side
+// behaviour is indistinguishable from honest objects and the writer makes
+// progress; only read replies are twisted.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "adversary/capture.hpp"
+#include "common/types.hpp"
+#include "net/process.hpp"
+#include "objects/regular_object.hpp"
+#include "objects/safe_object.hpp"
+
+namespace rr::adversary {
+
+/// Which honest protocol family the impostor mimics.
+enum class Flavor { Safe, Regular, Poll, Auth, Abd };
+
+enum class StrategyKind {
+  Silent,
+  Amnesiac,
+  Forger,
+  Accuser,
+  Equivocator,
+  Stagger,
+  Collude,
+  Random,
+};
+
+[[nodiscard]] const char* to_string(StrategyKind k);
+[[nodiscard]] StrategyKind strategy_from_name(const std::string& name);
+
+/// Creates a Byzantine object automaton implementing `kind` against the
+/// protocol family `flavor`, posing as object `object_index`.
+[[nodiscard]] std::unique_ptr<net::Process> make_byzantine(
+    StrategyKind kind, Flavor flavor, const Topology& topo,
+    const Resilience& res, int object_index);
+
+}  // namespace rr::adversary

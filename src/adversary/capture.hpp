@@ -1,0 +1,41 @@
+// A Context that buffers sends instead of performing them.
+//
+// Byzantine strategies use this to run an embedded *honest* automaton,
+// inspect/mutate/suppress its would-be replies, and only then decide what
+// actually goes on the wire. The lower-bound orchestrator uses the same
+// mechanism to capture reply messages for byte-level indistinguishability
+// checks.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/process.hpp"
+
+namespace rr::adversary {
+
+struct Outgoing {
+  ProcessId to{kNoProcess};
+  wire::Message msg{};
+};
+
+class CapturingContext final : public net::Context {
+ public:
+  explicit CapturingContext(net::Context& real) : real_(real) {}
+
+  [[nodiscard]] ProcessId self() const override { return real_.self(); }
+  [[nodiscard]] Time now() const override { return real_.now(); }
+  void send(ProcessId to, wire::Message msg) override {
+    sent_.push_back(Outgoing{to, std::move(msg)});
+  }
+  [[nodiscard]] Rng& rng() override { return real_.rng(); }
+
+  [[nodiscard]] std::vector<Outgoing> take() { return std::move(sent_); }
+  [[nodiscard]] const std::vector<Outgoing>& sent() const { return sent_; }
+
+ private:
+  net::Context& real_;
+  std::vector<Outgoing> sent_;
+};
+
+}  // namespace rr::adversary

@@ -1,0 +1,133 @@
+#include "baselines/abd.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rr::baselines {
+
+AbdObject::AbdObject(const Topology& topo, int object_index)
+    : topo_(topo), index_(object_index) {}
+
+void AbdObject::on_message(net::Context& ctx, ProcessId from,
+                           const wire::Message& msg) {
+  if (const auto* store = std::get_if<wire::AbdStoreMsg>(&msg)) {
+    // Adopt strictly newer pairs; always ack (a write-back of an old value
+    // must still make progress).
+    if (store->tsval.ts > tsval_.ts) tsval_ = store->tsval;
+    ctx.send(from, wire::AbdStoreAckMsg{store->seq});
+  } else if (const auto* query = std::get_if<wire::AbdQueryMsg>(&msg)) {
+    ctx.send(from, wire::AbdQueryAckMsg{query->seq, tsval_});
+  }
+  (void)topo_;
+  (void)index_;
+}
+
+AbdWriter::AbdWriter(const Resilience& res, const Topology& topo)
+    : res_(res), topo_(topo) {}
+
+void AbdWriter::write(net::Context& ctx, Value v, core::WriteCallback cb) {
+  RR_ASSERT_MSG(!busy_, "WRITE invoked while previous WRITE in progress");
+  ++ts_;
+  ++seq_;
+  busy_ = true;
+  acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+  ack_count_ = 0;
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::AbdStoreMsg{seq_, TsVal{ts_, v}});
+  }
+}
+
+void AbdWriter::on_message(net::Context& ctx, ProcessId from,
+                           const wire::Message& msg) {
+  const auto* ack = std::get_if<wire::AbdStoreAckMsg>(&msg);
+  if (ack == nullptr || !busy_ || ack->seq != seq_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  if (acked_[i]) return;
+  acked_[i] = true;
+  if (++ack_count_ >= res_.quorum()) {
+    busy_ = false;
+    core::WriteResult result;
+    result.ts = ts_;
+    result.rounds = 1;
+    result.invoked_at = invoked_at_;
+    result.completed_at = ctx.now();
+    auto cb = std::move(cb_);
+    cb_ = nullptr;
+    if (cb) cb(result);
+  }
+}
+
+AbdReader::AbdReader(const Resilience& res, const Topology& topo,
+                     int reader_index)
+    : res_(res), topo_(topo), reader_index_(reader_index) {}
+
+void AbdReader::read(net::Context& ctx, core::ReadCallback cb) {
+  RR_ASSERT_MSG(phase_ == Phase::Idle,
+                "READ invoked while previous READ in progress");
+  ++seq_;
+  phase_ = Phase::Query;
+  best_ = TsVal::bottom();
+  acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+  ack_count_ = 0;
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::AbdQueryMsg{seq_});
+  }
+}
+
+void AbdReader::on_message(net::Context& ctx, ProcessId from,
+                           const wire::Message& msg) {
+  if (const auto* q = std::get_if<wire::AbdQueryAckMsg>(&msg)) {
+    handle_query_ack(ctx, from, *q);
+  } else if (const auto* s = std::get_if<wire::AbdStoreAckMsg>(&msg)) {
+    handle_store_ack(ctx, from, *s);
+  }
+}
+
+void AbdReader::handle_query_ack(net::Context& ctx, ProcessId from,
+                                 const wire::AbdQueryAckMsg& m) {
+  if (phase_ != Phase::Query || m.seq != seq_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  if (acked_[i]) return;
+  acked_[i] = true;
+  if (m.tsval.ts > best_.ts) best_ = m.tsval;
+  if (++ack_count_ >= res_.quorum()) {
+    // Write-back phase: propagate the chosen pair to a majority so that
+    // subsequent reads cannot observe an older value (atomicity).
+    ++seq_;
+    phase_ = Phase::WriteBack;
+    acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+    ack_count_ = 0;
+    for (int k = 0; k < res_.num_objects; ++k) {
+      ctx.send(topo_.object(k), wire::AbdStoreMsg{seq_, best_});
+    }
+  }
+}
+
+void AbdReader::handle_store_ack(net::Context& ctx, ProcessId from,
+                                 const wire::AbdStoreAckMsg& m) {
+  if (phase_ != Phase::WriteBack || m.seq != seq_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  if (acked_[i]) return;
+  acked_[i] = true;
+  if (++ack_count_ >= res_.quorum()) {
+    phase_ = Phase::Idle;
+    core::ReadResult result;
+    result.tsval = best_;
+    result.rounds = 2;
+    result.invoked_at = invoked_at_;
+    result.completed_at = ctx.now();
+    auto cb = std::move(cb_);
+    cb_ = nullptr;
+    if (cb) cb(result);
+  }
+}
+
+}  // namespace rr::baselines

@@ -1,0 +1,87 @@
+// ABD: the classic crash-only (b = 0) SWMR atomic register emulation
+// (Attiya, Bar-Noy & Dolev, JACM 1995), over S = 2t+1 base objects.
+//
+// This is the baseline the paper positions Byzantine-tolerant storage
+// against: 1-round writes, 2-round reads (query + write-back), majority
+// quorums, *no* tolerance of arbitrary failures -- a single lying object can
+// break it (demonstrated in tests/test_abd.cpp and bench_protocol_comparison).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/client_types.hpp"
+#include "net/process.hpp"
+
+namespace rr::baselines {
+
+/// Base object: stores the highest-timestamped pair it has seen.
+class AbdObject : public net::Process {
+ public:
+  AbdObject(const Topology& topo, int object_index);
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] const TsVal& stored() const { return tsval_; }
+  void set_stored(TsVal v) { tsval_ = std::move(v); }
+
+ private:
+  Topology topo_;
+  int index_;
+  TsVal tsval_{TsVal::bottom()};
+};
+
+class AbdWriter : public net::Process {
+ public:
+  AbdWriter(const Resilience& res, const Topology& topo);
+
+  void write(net::Context& ctx, Value v, core::WriteCallback cb);
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] bool busy() const { return busy_; }
+
+ private:
+  Resilience res_;
+  Topology topo_;
+  Ts ts_{0};
+  std::uint64_t seq_{0};
+  bool busy_{false};
+  std::vector<bool> acked_;
+  int ack_count_{0};
+  core::WriteCallback cb_;
+  Time invoked_at_{0};
+};
+
+class AbdReader : public net::Process {
+ public:
+  AbdReader(const Resilience& res, const Topology& topo, int reader_index);
+
+  void read(net::Context& ctx, core::ReadCallback cb);
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] bool busy() const { return phase_ != Phase::Idle; }
+
+ private:
+  enum class Phase { Idle, Query, WriteBack };
+
+  void handle_query_ack(net::Context& ctx, ProcessId from,
+                        const wire::AbdQueryAckMsg& m);
+  void handle_store_ack(net::Context& ctx, ProcessId from,
+                        const wire::AbdStoreAckMsg& m);
+
+  Resilience res_;
+  Topology topo_;
+  int reader_index_;
+  std::uint64_t seq_{0};
+  Phase phase_{Phase::Idle};
+  TsVal best_{TsVal::bottom()};
+  std::vector<bool> acked_;
+  int ack_count_{0};
+  core::ReadCallback cb_;
+  Time invoked_at_{0};
+};
+
+}  // namespace rr::baselines

@@ -1,0 +1,138 @@
+#include "baselines/authenticated.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rr::baselines {
+
+wire::Mac make_mac(const std::string& key, Ts ts, const Value& val) {
+  // Domain-separate the timestamp from the value to prevent splicing.
+  std::string payload = "rr-auth|";
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>(ts >> (8 * i)));
+  }
+  payload += val;
+  return crypto::to_bytes(crypto::hmac_sha256(key, payload));
+}
+
+bool verify_mac(const std::string& key, Ts ts, const Value& val,
+                const wire::Mac& mac) {
+  std::string payload = "rr-auth|";
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>(ts >> (8 * i)));
+  }
+  payload += val;
+  return crypto::mac_equal(crypto::hmac_sha256(key, payload), mac);
+}
+
+AuthObject::AuthObject(const Topology& topo, int object_index)
+    : topo_(topo), index_(object_index) {}
+
+void AuthObject::on_message(net::Context& ctx, ProcessId from,
+                            const wire::Message& msg) {
+  if (const auto* wr = std::get_if<wire::AuthWriteMsg>(&msg)) {
+    if (from != topo_.writer()) return;
+    if (wr->ts > st_.ts) {
+      st_ = State{wr->ts, wr->val, wr->mac};
+    }
+    ctx.send(from, wire::AuthWriteAckMsg{wr->ts});
+  } else if (const auto* rd = std::get_if<wire::AuthReadMsg>(&msg)) {
+    ctx.send(from, wire::AuthReadAckMsg{rd->seq, st_.ts, st_.val, st_.mac});
+  }
+  (void)index_;
+}
+
+AuthWriter::AuthWriter(const Resilience& res, const Topology& topo,
+                       std::string key)
+    : res_(res), topo_(topo), key_(std::move(key)) {}
+
+void AuthWriter::write(net::Context& ctx, Value v, core::WriteCallback cb) {
+  RR_ASSERT_MSG(!busy_, "WRITE invoked while previous WRITE in progress");
+  ++ts_;
+  busy_ = true;
+  acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+  ack_count_ = 0;
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  const wire::Mac mac = make_mac(key_, ts_, v);
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::AuthWriteMsg{ts_, v, mac});
+  }
+}
+
+void AuthWriter::on_message(net::Context& ctx, ProcessId from,
+                            const wire::Message& msg) {
+  const auto* ack = std::get_if<wire::AuthWriteAckMsg>(&msg);
+  if (ack == nullptr || !busy_ || ack->ts != ts_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  if (acked_[i]) return;
+  acked_[i] = true;
+  if (++ack_count_ >= res_.quorum()) {
+    busy_ = false;
+    core::WriteResult result;
+    result.ts = ts_;
+    result.rounds = 1;
+    result.invoked_at = invoked_at_;
+    result.completed_at = ctx.now();
+    auto cb = std::move(cb_);
+    cb_ = nullptr;
+    if (cb) cb(result);
+  }
+}
+
+AuthReader::AuthReader(const Resilience& res, const Topology& topo,
+                       int reader_index, std::string key)
+    : res_(res),
+      topo_(topo),
+      reader_index_(reader_index),
+      key_(std::move(key)) {}
+
+void AuthReader::read(net::Context& ctx, core::ReadCallback cb) {
+  RR_ASSERT_MSG(!busy_, "READ invoked while previous READ in progress");
+  ++seq_;
+  busy_ = true;
+  best_ = TsVal::bottom();
+  acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+  ack_count_ = 0;
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::AuthReadMsg{seq_});
+  }
+}
+
+void AuthReader::on_message(net::Context& ctx, ProcessId from,
+                            const wire::Message& msg) {
+  const auto* ack = std::get_if<wire::AuthReadAckMsg>(&msg);
+  if (ack == nullptr || !busy_ || ack->seq != seq_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  if (acked_[i]) return;
+  acked_[i] = true;
+  ++ack_count_;
+  // Replay is the only Byzantine capability left: stale-but-authentic pairs
+  // lose the timestamp comparison, forged pairs fail verification.
+  if (ack->ts != 0) {
+    if (verify_mac(key_, ack->ts, ack->val, ack->mac)) {
+      if (ack->ts > best_.ts) best_ = TsVal{ack->ts, ack->val};
+    } else {
+      ++rejected_macs_;
+    }
+  }
+  if (ack_count_ >= res_.quorum()) {
+    busy_ = false;
+    core::ReadResult result;
+    result.tsval = best_;
+    result.rounds = 1;
+    result.invoked_at = invoked_at_;
+    result.completed_at = ctx.now();
+    result.returned_default = best_.is_bottom();
+    auto cb = std::move(cb_);
+    cb_ = nullptr;
+    if (cb) cb(result);
+  }
+}
+
+}  // namespace rr::baselines

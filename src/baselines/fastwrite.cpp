@@ -1,0 +1,49 @@
+#include "baselines/fastwrite.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rr::baselines {
+
+FastWriter::FastWriter(const Resilience& res, const Topology& topo)
+    : res_(res), topo_(topo) {
+  RR_ASSERT_MSG(res.num_objects >= 2 * res.t + 2 * res.b + 1,
+                "fast (1-round) writes require S >= 2t+2b+1");
+}
+
+void FastWriter::write(net::Context& ctx, Value v, core::WriteCallback cb) {
+  RR_ASSERT_MSG(!busy_, "WRITE invoked while previous WRITE in progress");
+  ++ts_;
+  busy_ = true;
+  acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+  ack_count_ = 0;
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::FwWriteMsg{ts_, v});
+  }
+}
+
+void FastWriter::on_message(net::Context& ctx, ProcessId from,
+                            const wire::Message& msg) {
+  const auto* ack = std::get_if<wire::FwWriteAckMsg>(&msg);
+  if (ack == nullptr || !busy_ || ack->ts != ts_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  if (acked_[i]) return;
+  acked_[i] = true;
+  if (++ack_count_ >= res_.quorum()) {
+    busy_ = false;
+    core::WriteResult result;
+    result.ts = ts_;
+    result.rounds = 1;
+    result.invoked_at = invoked_at_;
+    result.completed_at = ctx.now();
+    auto cb = std::move(cb_);
+    cb_ = nullptr;
+    if (cb) cb(result);
+  }
+}
+
+}  // namespace rr::baselines

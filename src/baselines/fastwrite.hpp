@@ -1,0 +1,41 @@
+// Fast-write configuration: with S >= 2t+2b+1 base objects a single round
+// suffices for WRITE (Abraham-Chockler-Keidar-Malkhi), and the polling
+// reader's first quorum view already decides, so READ is 1 round too.
+//
+// Together with the 2t+b+1-object deployments this charts the resilience /
+// round-complexity frontier of experiment E8: both operations drop to one
+// round exactly when the object count crosses 2t+2b.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/client_types.hpp"
+#include "net/process.hpp"
+
+namespace rr::baselines {
+
+/// One-round writer over PollObject replicas (FwWriteMsg installs pw and w
+/// atomically). Requires res.num_objects >= 2t+2b+1 for reads to stay safe.
+class FastWriter : public net::Process {
+ public:
+  FastWriter(const Resilience& res, const Topology& topo);
+
+  void write(net::Context& ctx, Value v, core::WriteCallback cb);
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] bool busy() const { return busy_; }
+
+ private:
+  Resilience res_;
+  Topology topo_;
+  Ts ts_{0};
+  bool busy_{false};
+  std::vector<bool> acked_;
+  int ack_count_{0};
+  core::WriteCallback cb_;
+  Time invoked_at_{0};
+};
+
+}  // namespace rr::baselines

@@ -1,0 +1,221 @@
+#include "baselines/polling.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rr::baselines {
+
+PollObject::PollObject(const Topology& topo, int object_index)
+    : topo_(topo), index_(object_index) {}
+
+void PollObject::on_message(net::Context& ctx, ProcessId from,
+                            const wire::Message& msg) {
+  if (const auto* wr = std::get_if<wire::BlWriteMsg>(&msg)) {
+    if (from != topo_.writer()) return;
+    if (wr->phase == 1) {
+      if (wr->ts > st_.pw.ts) st_.pw = TsVal{wr->ts, wr->val};
+    } else {
+      if (wr->ts > st_.w.ts) {
+        st_.w = TsVal{wr->ts, wr->val};
+        if (wr->ts > st_.pw.ts) st_.pw = st_.w;
+      }
+    }
+    ctx.send(from, wire::BlWriteAckMsg{wr->phase, wr->ts});
+  } else if (const auto* fw = std::get_if<wire::FwWriteMsg>(&msg)) {
+    // Fast-write configuration: one message installs both fields.
+    if (from != topo_.writer()) return;
+    if (fw->ts > st_.w.ts) {
+      st_.w = TsVal{fw->ts, fw->val};
+      if (fw->ts > st_.pw.ts) st_.pw = st_.w;
+    }
+    ctx.send(from, wire::FwWriteAckMsg{fw->ts});
+  } else if (const auto* poll = std::get_if<wire::PollMsg>(&msg)) {
+    // State-preserving read: this is the defining constraint of the
+    // baseline -- no reader-written control data.
+    ctx.send(from, wire::PollAckMsg{poll->seq, poll->round, st_.pw, st_.w});
+  }
+  (void)index_;
+}
+
+PollingWriter::PollingWriter(const Resilience& res, const Topology& topo)
+    : res_(res), topo_(topo) {}
+
+void PollingWriter::write(net::Context& ctx, Value v, core::WriteCallback cb) {
+  RR_ASSERT_MSG(phase_ == 0, "WRITE invoked while previous WRITE in progress");
+  ++ts_;
+  val_ = std::move(v);
+  phase_ = 1;
+  acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+  ack_count_ = 0;
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::BlWriteMsg{1, ts_, val_});
+  }
+}
+
+void PollingWriter::on_message(net::Context& ctx, ProcessId from,
+                               const wire::Message& msg) {
+  const auto* ack = std::get_if<wire::BlWriteAckMsg>(&msg);
+  if (ack == nullptr || phase_ == 0) return;
+  if (ack->phase != phase_ || ack->ts != ts_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  if (acked_[i]) return;
+  acked_[i] = true;
+  if (++ack_count_ < res_.quorum()) return;
+
+  if (phase_ == 1) {
+    // Pre-write quorum reached: enter the write phase. The ordering
+    // "phase 2 implies phase 1 completed" is what readers' evidence rule
+    // relies on.
+    phase_ = 2;
+    acked_.assign(static_cast<std::size_t>(res_.num_objects), false);
+    ack_count_ = 0;
+    for (int k = 0; k < res_.num_objects; ++k) {
+      ctx.send(topo_.object(k), wire::BlWriteMsg{2, ts_, val_});
+    }
+    return;
+  }
+  phase_ = 0;
+  core::WriteResult result;
+  result.ts = ts_;
+  result.rounds = 2;
+  result.invoked_at = invoked_at_;
+  result.completed_at = ctx.now();
+  auto cb = std::move(cb_);
+  cb_ = nullptr;
+  if (cb) cb(result);
+}
+
+PollingReader::PollingReader(const Resilience& res, const Topology& topo,
+                             int reader_index)
+    : res_(res), topo_(topo), reader_index_(reader_index) {}
+
+void PollingReader::read(net::Context& ctx, core::ReadCallback cb) {
+  RR_ASSERT_MSG(!busy_, "READ invoked while previous READ in progress");
+  busy_ = true;
+  ++seq_;
+  round_ = 0;
+  evidence_.assign(static_cast<std::size_t>(res_.num_objects), ObjEvidence{});
+  candidates_.clear();
+  candidates_.push_back(TsVal::bottom());  // the initial value is always a
+                                           // candidate
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  send_round(ctx);
+}
+
+void PollingReader::send_round(net::Context& ctx) {
+  ++round_;
+  acks_this_round_ = 0;
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::PollMsg{seq_, round_});
+  }
+}
+
+void PollingReader::on_message(net::Context& ctx, ProcessId from,
+                               const wire::Message& msg) {
+  if (const auto* ack = std::get_if<wire::PollAckMsg>(&msg)) {
+    handle_ack(ctx, from, *ack);
+  }
+}
+
+void PollingReader::handle_ack(net::Context& ctx, ProcessId from,
+                               const wire::PollAckMsg& m) {
+  if (!busy_ || m.seq != seq_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  auto& ev = evidence_[i];
+  ev.responded = true;
+  // Evidence is cumulative across poll rounds: late replies from earlier
+  // rounds are just as useful (the model's reliable channels deliver them
+  // while the read is still pending).
+  auto add_unique = [](std::vector<TsVal>& xs, const TsVal& x) {
+    if (std::find(xs.begin(), xs.end(), x) == xs.end()) xs.push_back(x);
+  };
+  add_unique(ev.pw_seen, m.pw);
+  add_unique(ev.w_seen, m.w);
+  if (m.round > ev.last_round) ev.last_round = m.round;
+  if (m.round == round_) ++acks_this_round_;
+
+  const bool known = std::find(candidates_.begin(), candidates_.end(), m.w) !=
+                     candidates_.end();
+  if (!known) candidates_.push_back(m.w);
+
+  try_decide(ctx);
+  if (busy_) maybe_next_round(ctx);
+}
+
+bool PollingReader::vouches(const ObjEvidence& e, const TsVal& c) const {
+  for (const auto& v : e.pw_seen) {
+    if (v == c || v.ts > c.ts) return true;
+  }
+  for (const auto& v : e.w_seen) {
+    if (v == c || v.ts > c.ts) return true;
+  }
+  return false;
+}
+
+int PollingReader::vouch_count(const TsVal& c) const {
+  int n = 0;
+  for (const auto& e : evidence_) {
+    if (e.responded && vouches(e, c)) ++n;
+  }
+  return n;
+}
+
+int PollingReader::deny_count(const TsVal& c) const {
+  int n = 0;
+  for (const auto& e : evidence_) {
+    if (e.responded && !vouches(e, c)) ++n;
+  }
+  return n;
+}
+
+void PollingReader::try_decide(net::Context& ctx) {
+  // Return the highest vouched candidate once every strictly higher
+  // candidate is dead. Candidates are scanned highest-first.
+  std::vector<TsVal> sorted = candidates_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TsVal& a, const TsVal& b) { return a.ts > b.ts; });
+  const int dead_threshold = res_.t + res_.b + 1;
+  for (const auto& c : sorted) {
+    if (vouch_count(c) >= res_.b + 1) {
+      // All candidates with a strictly higher timestamp must be dead.
+      bool blocked = false;
+      for (const auto& higher : sorted) {
+        if (higher.ts <= c.ts) break;
+        if (deny_count(higher) < dead_threshold) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      busy_ = false;
+      last_rounds_ = static_cast<int>(round_);
+      core::ReadResult result;
+      result.tsval = c;
+      result.rounds = last_rounds_;
+      result.invoked_at = invoked_at_;
+      result.completed_at = ctx.now();
+      result.returned_default = c.is_bottom();
+      auto cb = std::move(cb_);
+      cb_ = nullptr;
+      if (cb) cb(result);
+      return;
+    }
+  }
+}
+
+void PollingReader::maybe_next_round(net::Context& ctx) {
+  // Undecided although a full quorum of the current round has replied:
+  // solicit fresh evidence. (Termination: once every correct object's
+  // replies are in, the decision predicate necessarily fires, so only
+  // finitely many rounds are issued.)
+  if (acks_this_round_ >= res_.quorum()) send_round(ctx);
+}
+
+}  // namespace rr::baselines

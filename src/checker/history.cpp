@@ -1,0 +1,276 @@
+#include "checker/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rr::checker {
+
+std::size_t HistoryLog::record_invocation(OpRecord::Kind kind, int client,
+                                          Time at, Value intended_value) {
+  std::lock_guard lock(mu_);
+  OpRecord rec;
+  rec.kind = kind;
+  rec.client = client;
+  rec.invoked_at = at;
+  rec.value = std::move(intended_value);
+  ops_.push_back(std::move(rec));
+  return ops_.size() - 1;
+}
+
+void HistoryLog::record_write_response(std::size_t handle, Time at, Ts ts,
+                                       const Value& value) {
+  std::lock_guard lock(mu_);
+  RR_ASSERT(handle < ops_.size());
+  auto& rec = ops_[handle];
+  RR_ASSERT(rec.kind == OpRecord::Kind::Write && !rec.complete);
+  rec.responded_at = at;
+  rec.complete = true;
+  rec.ts = ts;
+  rec.value = value;
+}
+
+void HistoryLog::record_read_response(std::size_t handle, Time at,
+                                      const TsVal& tsval) {
+  std::lock_guard lock(mu_);
+  RR_ASSERT(handle < ops_.size());
+  auto& rec = ops_[handle];
+  RR_ASSERT(rec.kind == OpRecord::Kind::Read && !rec.complete);
+  rec.responded_at = at;
+  rec.complete = true;
+  rec.ts = tsval.ts;
+  rec.value = tsval.val;
+}
+
+std::vector<OpRecord> HistoryLog::snapshot() const {
+  std::lock_guard lock(mu_);
+  return ops_;
+}
+
+std::size_t HistoryLog::size() const {
+  std::lock_guard lock(mu_);
+  return ops_.size();
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  os << "reads=" << reads_checked << " writes=" << writes_checked
+     << " violations=" << violations.size();
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+namespace {
+
+struct Indexed {
+  std::vector<const OpRecord*> writes;  ///< invocation order
+  std::vector<const OpRecord*> reads;
+};
+
+Indexed index_ops(const std::vector<OpRecord>& ops) {
+  Indexed ix;
+  for (const auto& op : ops) {
+    if (op.kind == OpRecord::Kind::Write) {
+      ix.writes.push_back(&op);
+    } else {
+      ix.reads.push_back(&op);
+    }
+  }
+  return ix;
+}
+
+/// op1 (complete) precedes op2 iff op1 responded before op2 was invoked.
+bool precedes(const OpRecord& op1, const OpRecord& op2) {
+  return op1.complete && op1.responded_at < op2.invoked_at;
+}
+
+bool concurrent(const OpRecord& a, const OpRecord& b) {
+  return !precedes(a, b) && !precedes(b, a);
+}
+
+std::string describe(const OpRecord& op) {
+  std::ostringstream os;
+  os << (op.kind == OpRecord::Kind::Write ? "WRITE" : "READ") << "(client="
+     << op.client << ", ts=" << op.ts << ", value=\"" << op.value
+     << "\", invoked=" << op.invoked_at << ", responded="
+     << (op.complete ? std::to_string(op.responded_at) : "incomplete") << ")";
+  return os.str();
+}
+
+/// Checks regularity condition (1): the returned <ts, value> corresponds to
+/// an actual write invocation (or the initial value).
+bool returned_value_was_written(const Indexed& ix, const OpRecord& rd,
+                                std::string* why) {
+  if (rd.ts == 0) {
+    if (!rd.value.empty()) {
+      *why = "returned timestamp 0 with non-initial value";
+      return false;
+    }
+    return true;
+  }
+  // Writer timestamps are dense (1..N in invocation order), so ts identifies
+  // the write. An incomplete write still counts: its value may legitimately
+  // be returned by reads concurrent with it.
+  if (rd.ts > ix.writes.size()) {
+    *why = "returned timestamp larger than any invoked write";
+    return false;
+  }
+  const OpRecord& wr = *ix.writes[static_cast<std::size_t>(rd.ts - 1)];
+  if (wr.kind != OpRecord::Kind::Write) {
+    *why = "timestamp does not name a write";
+    return false;
+  }
+  // The intended value is recorded at invocation, so the check also covers
+  // writes left incomplete by a writer crash.
+  if (wr.value != rd.value) {
+    *why = "returned value differs from the value written at that timestamp";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckReport check_well_formed(const std::vector<OpRecord>& ops) {
+  CheckReport report;
+  const Indexed ix = index_ops(ops);
+  report.writes_checked = static_cast<int>(ix.writes.size());
+  report.reads_checked = static_cast<int>(ix.reads.size());
+
+  // Writer timestamps must be 1..N in invocation order.
+  Ts expected = 1;
+  for (const auto* wr : ix.writes) {
+    if (wr->complete && wr->ts != expected) {
+      report.violations.push_back("write timestamps not dense: expected " +
+                                  std::to_string(expected) + ", " +
+                                  describe(*wr));
+    }
+    ++expected;
+  }
+
+  // Per-client operations must not overlap (well-formedness of clients).
+  std::map<std::pair<int, int>, std::vector<const OpRecord*>> per_client;
+  for (const auto& op : ops) {
+    per_client[{op.kind == OpRecord::Kind::Write ? 0 : 1, op.client}]
+        .push_back(&op);
+  }
+  for (auto& [key, client_ops] : per_client) {
+    std::sort(client_ops.begin(), client_ops.end(),
+              [](const OpRecord* a, const OpRecord* b) {
+                return a->invoked_at < b->invoked_at;
+              });
+    for (std::size_t i = 1; i < client_ops.size(); ++i) {
+      const auto* prev = client_ops[i - 1];
+      if (!prev->complete || prev->responded_at > client_ops[i]->invoked_at) {
+        report.violations.push_back("client ops overlap: " + describe(*prev) +
+                                    " vs " + describe(*client_ops[i]));
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport check_safety(const std::vector<OpRecord>& ops) {
+  CheckReport report;
+  const Indexed ix = index_ops(ops);
+  report.writes_checked = static_cast<int>(ix.writes.size());
+
+  for (const auto* rd : ix.reads) {
+    if (!rd->complete) continue;
+    // Safety constrains only reads that are concurrent with no write.
+    bool has_concurrent_write = false;
+    Ts last_preceding = 0;
+    for (const auto* wr : ix.writes) {
+      if (concurrent(*wr, *rd)) {
+        has_concurrent_write = true;
+        break;
+      }
+      if (precedes(*wr, *rd) && wr->ts > last_preceding) {
+        last_preceding = wr->ts;
+      }
+    }
+    if (has_concurrent_write) continue;
+    ++report.reads_checked;
+    if (rd->ts != last_preceding) {
+      report.violations.push_back(
+          "safety: read returned ts " + std::to_string(rd->ts) +
+          " but the last preceding write has ts " +
+          std::to_string(last_preceding) + ": " + describe(*rd));
+      continue;
+    }
+    std::string why;
+    if (!returned_value_was_written(ix, *rd, &why)) {
+      report.violations.push_back("safety: " + why + ": " + describe(*rd));
+    }
+  }
+  return report;
+}
+
+CheckReport check_regularity(const std::vector<OpRecord>& ops) {
+  CheckReport report;
+  const Indexed ix = index_ops(ops);
+  report.writes_checked = static_cast<int>(ix.writes.size());
+
+  for (const auto* rd : ix.reads) {
+    if (!rd->complete) continue;
+    ++report.reads_checked;
+
+    // Condition (1): only written values are returned.
+    std::string why;
+    if (!returned_value_was_written(ix, *rd, &why)) {
+      report.violations.push_back("regularity(1): " + why + ": " +
+                                  describe(*rd));
+      continue;
+    }
+
+    // Condition (2): a read succeeding WRITE_k returns val_l with l >= k.
+    Ts max_preceding = 0;
+    for (const auto* wr : ix.writes) {
+      if (precedes(*wr, *rd) && wr->complete && wr->ts > max_preceding) {
+        max_preceding = wr->ts;
+      }
+    }
+    if (rd->ts < max_preceding) {
+      report.violations.push_back(
+          "regularity(2): read returned ts " + std::to_string(rd->ts) +
+          " although WRITE with ts " + std::to_string(max_preceding) +
+          " precedes it: " + describe(*rd));
+    }
+
+    // Condition (3): a read returning val_k does not precede WRITE_k.
+    if (rd->ts >= 1 && rd->ts <= ix.writes.size()) {
+      const OpRecord& wr = *ix.writes[static_cast<std::size_t>(rd->ts - 1)];
+      if (precedes(*rd, wr)) {
+        report.violations.push_back(
+            "regularity(3): read returned a value whose write was invoked "
+            "only after the read responded: " +
+            describe(*rd));
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport check_atomicity(const std::vector<OpRecord>& ops) {
+  CheckReport report = check_regularity(ops);
+  const Indexed ix = index_ops(ops);
+
+  // New-old inversion: for SWMR registers, regularity plus monotonicity of
+  // non-concurrent reads is equivalent to atomicity (Lamport).
+  for (const auto* r1 : ix.reads) {
+    if (!r1->complete) continue;
+    for (const auto* r2 : ix.reads) {
+      if (!r2->complete || r1 == r2) continue;
+      if (precedes(*r1, *r2) && r2->ts < r1->ts) {
+        report.violations.push_back(
+            "atomicity: new-old inversion: " + describe(*r1) +
+            " precedes " + describe(*r2));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rr::checker

@@ -1,0 +1,85 @@
+// Operation-history recording and consistency checking.
+//
+// Harnesses record every operation invocation/response into a HistoryLog;
+// the checkers then verify the paper's correctness conditions post-hoc:
+//
+//   safety     (Section 2.2): a READ not concurrent with any WRITE returns
+//                the value of the last preceding WRITE (or the initial value).
+//   regularity (Section 2.2): (1) every returned value was written (or is
+//                the initial value), (2) a READ succeeding WRITE_k returns
+//                val_l with l >= k, (3) a READ returning val_k (k >= 1) does
+//                not precede WRITE_k.
+//   atomicity  (for the ABD baseline): regularity + no new-old inversion
+//                between non-concurrent READs (sufficient for SWMR
+//                registers).
+//
+// Writes are identified by their writer timestamps (1, 2, 3, ...); the
+// initial value is timestamp 0.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rr::checker {
+
+struct OpRecord {
+  enum class Kind { Write, Read };
+
+  Kind kind{Kind::Write};
+  int client{0};  ///< reader index, or -1 for the writer
+  Time invoked_at{0};
+  Time responded_at{0};
+  bool complete{false};
+
+  /// Writes: the timestamp/value written. Reads: the timestamp/value
+  /// returned (ts 0 = initial value).
+  Ts ts{0};
+  Value value{};
+};
+
+/// Thread-safe append-only operation log (shared by the simulator harnesses
+/// and the threaded runtime).
+class HistoryLog {
+ public:
+  /// Returns an opaque handle to later mark completion. For writes,
+  /// `intended_value` records the value being written so that a write left
+  /// incomplete by a crash can still be matched against concurrent reads.
+  std::size_t record_invocation(OpRecord::Kind kind, int client, Time at,
+                                Value intended_value = {});
+  void record_write_response(std::size_t handle, Time at, Ts ts,
+                             const Value& value);
+  void record_read_response(std::size_t handle, Time at, const TsVal& tsval);
+
+  [[nodiscard]] std::vector<OpRecord> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<OpRecord> ops_;
+};
+
+/// Result of a consistency check; empty `violations` means the property
+/// holds on the given history.
+struct CheckReport {
+  std::vector<std::string> violations;
+  int reads_checked{0};
+  int writes_checked{0};
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] CheckReport check_safety(const std::vector<OpRecord>& ops);
+[[nodiscard]] CheckReport check_regularity(const std::vector<OpRecord>& ops);
+[[nodiscard]] CheckReport check_atomicity(const std::vector<OpRecord>& ops);
+
+/// Sanity conditions every harness run must satisfy regardless of storage
+/// semantics: writer timestamps are 1..N in invocation order, operations of
+/// one client do not overlap. Returns violations.
+[[nodiscard]] CheckReport check_well_formed(const std::vector<OpRecord>& ops);
+
+}  // namespace rr::checker

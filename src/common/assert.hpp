@@ -1,0 +1,36 @@
+// Contract checking. RR_ASSERT is always on (the library is a research
+// artifact: failing loudly beats returning garbage); RR_DCHECK compiles out
+// in NDEBUG builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rr::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "RR_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace rr::detail
+
+#define RR_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::rr::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                \
+  } while (0)
+
+#define RR_ASSERT_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::rr::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define RR_DCHECK(expr) ((void)0)
+#else
+#define RR_DCHECK(expr) RR_ASSERT(expr)
+#endif

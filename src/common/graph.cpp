@@ -1,0 +1,96 @@
+#include "common/graph.hpp"
+
+namespace rr {
+namespace {
+
+int popcount(std::uint64_t v) { return std::popcount(v); }
+
+/// Strips vertices with no neighbours inside the set (always in any MIS).
+/// Returns their count; `working` is reduced to the entangled core.
+int strip_free(const std::vector<std::uint64_t>& adj,
+               std::uint64_t& working) {
+  int free_vertices = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::uint64_t rest = working;
+    while (rest) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      if ((adj[static_cast<std::size_t>(v)] & working & ~(1ULL << v)) == 0) {
+        ++free_vertices;
+        working &= ~(1ULL << v);
+        changed = true;  // removing v may free its former neighbours? no --
+                         // v had no neighbours; but keep the loop shape for
+                         // clarity (it converges immediately).
+      }
+    }
+  }
+  return free_vertices;
+}
+
+int pick_pivot(const std::vector<std::uint64_t>& adj, std::uint64_t working) {
+  int pivot = -1;
+  int pivot_degree = -1;
+  std::uint64_t scan = working;
+  while (scan) {
+    const int v = std::countr_zero(scan);
+    scan &= scan - 1;
+    const int d =
+        popcount(adj[static_cast<std::size_t>(v)] & working & ~(1ULL << v));
+    if (d > pivot_degree) {
+      pivot_degree = d;
+      pivot = v;
+    }
+  }
+  return pivot;
+}
+
+int mis_exact(const std::vector<std::uint64_t>& adj, std::uint64_t vertices) {
+  std::uint64_t working = vertices;
+  const int free_vertices = strip_free(adj, working);
+  if (working == 0) return free_vertices;
+  const int pivot = pick_pivot(adj, working);
+  const std::uint64_t pivot_bit = 1ULL << pivot;
+  const int with_pivot =
+      1 + mis_exact(adj, working &
+                             ~(pivot_bit | adj[static_cast<std::size_t>(pivot)]));
+  const int without_pivot = mis_exact(adj, working & ~pivot_bit);
+  return free_vertices + std::max(with_pivot, without_pivot);
+}
+
+bool has_is(const std::vector<std::uint64_t>& adj, std::uint64_t vertices,
+            int k) {
+  if (k <= 0) return true;
+  std::uint64_t working = vertices;
+  const int free_vertices = strip_free(adj, working);
+  k -= free_vertices;
+  if (k <= 0) return true;
+  if (popcount(working) < k) return false;
+  const int pivot = pick_pivot(adj, working);
+  const std::uint64_t pivot_bit = 1ULL << pivot;
+  if (has_is(adj,
+             working & ~(pivot_bit | adj[static_cast<std::size_t>(pivot)]),
+             k - 1)) {
+    return true;
+  }
+  return has_is(adj, working & ~pivot_bit, k);
+}
+
+}  // namespace
+
+int max_independent_set_size(const std::vector<std::uint64_t>& adj,
+                             std::uint64_t vertices) {
+  RR_ASSERT(adj.size() <= 64);
+  return mis_exact(adj, vertices);
+}
+
+bool has_independent_set(const std::vector<std::uint64_t>& adj,
+                         std::uint64_t vertices, int k) {
+  RR_ASSERT(adj.size() <= 64);
+  if (k <= 0) return true;
+  if (popcount(vertices) < k) return false;
+  return has_is(adj, vertices, k);
+}
+
+}  // namespace rr

@@ -1,0 +1,33 @@
+// Tiny exact maximum-independent-set solver.
+//
+// The safe/regular readers' first round terminates when there exists a
+// subset Resp1OK of responders, of size >= S - t, with no pairwise conflict
+// (Figure 4 / Figure 6, line 11). Deciding that is a maximum-independent-set
+// question on the conflict graph. The graphs are tiny (|V| = S <= 64) and
+// almost always edgeless (Lemma 1: correct objects never conflict; only
+// Byzantine accusations add edges), so an exact branch-and-bound is both
+// required for liveness (a greedy under-approximation could block a read
+// forever) and cheap in practice.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rr {
+
+/// Returns the size of a maximum independent set of the graph whose vertices
+/// are the set bits of `vertices` and whose adjacency is `adj[v]` (bitmask of
+/// neighbours of v). Self-loops are ignored. Requires adj.size() <= 64.
+int max_independent_set_size(const std::vector<std::uint64_t>& adj,
+                             std::uint64_t vertices);
+
+/// True iff the graph restricted to `vertices` contains an independent set
+/// of size >= k. Short-circuits, so typically cheaper than computing the
+/// maximum.
+bool has_independent_set(const std::vector<std::uint64_t>& adj,
+                         std::uint64_t vertices, int k);
+
+}  // namespace rr

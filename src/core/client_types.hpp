@@ -1,0 +1,38 @@
+// Operation result types shared by all client automata in the library.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace rr::core {
+
+/// Outcome of a completed WRITE operation.
+struct WriteResult {
+  Ts ts{};           ///< timestamp assigned to the written value
+  int rounds{};      ///< communication round-trips used (paper metric)
+  Time invoked_at{};
+  Time completed_at{};
+
+  [[nodiscard]] Time latency() const { return completed_at - invoked_at; }
+};
+
+/// Outcome of a completed READ operation.
+struct ReadResult {
+  TsVal tsval{};       ///< returned value with its writer timestamp
+  int rounds{};        ///< communication round-trips used
+  Time invoked_at{};
+  Time completed_at{};
+  /// True when the read returned the default/initial value because the
+  /// candidate set drained (only possible under concurrency; see Figure 4
+  /// lines 15-16) or, for the optimized regular reader, because it fell back
+  /// to its cache (Section 5.1).
+  bool returned_default{false};
+
+  [[nodiscard]] Time latency() const { return completed_at - invoked_at; }
+};
+
+using WriteCallback = std::function<void(const WriteResult&)>;
+using ReadCallback = std::function<void(const ReadResult&)>;
+
+}  // namespace rr::core

@@ -1,0 +1,250 @@
+#include "core/regular_reader.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/graph.hpp"
+
+namespace rr::core {
+
+RegularReader::RegularReader(const Resilience& res, const Topology& topo,
+                             int reader_index, bool optimized)
+    : res_(res),
+      topo_(topo),
+      reader_index_(reader_index),
+      optimized_(optimized) {
+  RR_ASSERT(res.valid());
+  RR_ASSERT(reader_index >= 0 && reader_index < res.num_readers);
+  RR_ASSERT_MSG(res.num_objects <= 64,
+                "conflict-quorum search uses 64-bit vertex masks");
+}
+
+void RegularReader::read(net::Context& ctx, ReadCallback cb) {
+  RR_ASSERT_MSG(phase_ == Phase::Idle,
+                "READ invoked while previous READ in progress");
+  // Figure 6 lines 7-10.
+  hist1_.assign(static_cast<std::size_t>(res_.num_objects), std::nullopt);
+  hist2_.assign(static_cast<std::size_t>(res_.num_objects), std::nullopt);
+  candidates_.clear();
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  diag_ = Diag{};
+  tsr_first_round_ = ++tsr_;
+  request_cache_ts_ = optimized_ ? cache_.ts : 0;
+  phase_ = Phase::Round1;
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::ReadMsg{1, tsr_, request_cache_ts_});
+  }
+}
+
+void RegularReader::on_message(net::Context& ctx, ProcessId from,
+                               const wire::Message& msg) {
+  if (const auto* ack = std::get_if<wire::HistReadAckMsg>(&msg)) {
+    handle_ack(ctx, from, *ack);
+  }
+}
+
+void RegularReader::handle_ack(net::Context& ctx, ProcessId from,
+                               const wire::HistReadAckMsg& m) {
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  // Figure 6 lines 17-25: one reply per object per round (the tsr[i] guard),
+  // pattern-matched against the reader's current timestamp.
+  if (phase_ == Phase::Round1 && m.round == 1 && m.tsr == tsr_first_round_ &&
+      !hist1_[i].has_value()) {
+    ++diag_.round1_acks;
+    diag_.history_slots_received += m.history.size();
+    hist1_[i] = m.history;
+    add_candidates_from(m.history);  // Figure 6 line 20
+    sweep_removals();
+    if (round1_complete()) {
+      start_round2(ctx);
+      try_finish(ctx);
+    }
+  } else if (phase_ == Phase::Round2 && m.round == 2 &&
+             m.tsr == tsr_first_round_ + 1 && !hist2_[i].has_value()) {
+    ++diag_.round2_acks;
+    diag_.history_slots_received += m.history.size();
+    hist2_[i] = m.history;
+    sweep_removals();
+    try_finish(ctx);
+  }
+}
+
+void RegularReader::add_candidates_from(const wire::History& h) {
+  for (const auto& [ts, entry] : h) {
+    if (!entry.w.has_value()) continue;
+    const WTuple& w = *entry.w;
+    const bool known = std::any_of(
+        candidates_.begin(), candidates_.end(),
+        [&](const Candidate& c) { return c.tuple == w; });
+    if (!known) {
+      candidates_.push_back(Candidate{w, false});
+      ++diag_.candidates_added;
+    }
+  }
+}
+
+const wire::History* RegularReader::replied_history(int rnd,
+                                                    std::size_t i) const {
+  const auto& slot = (rnd == 1) ? hist1_[i] : hist2_[i];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+bool RegularReader::object_vouches(std::size_t i, const WTuple& c) const {
+  // Figure 6 line 3: some replied round's history confirms slot c.ts with
+  // c's pair (pw) or c itself (w).
+  for (int rnd = 1; rnd <= 2; ++rnd) {
+    const auto* h = replied_history(rnd, i);
+    if (h == nullptr) continue;
+    const auto it = h->find(c.tsval.ts);
+    if (it == h->end()) continue;
+    if ((it->second.pw.has_value() && *it->second.pw == c.tsval) ||
+        (it->second.w.has_value() && *it->second.w == c)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RegularReader::object_denies(std::size_t i, const WTuple& c) const {
+  // Figure 6 line 2: some replied round's history has no w entry for slot
+  // c.ts, or a mismatching pw or w. A missing slot reads as <nil, nil>.
+  for (int rnd = 1; rnd <= 2; ++rnd) {
+    const auto* h = replied_history(rnd, i);
+    if (h == nullptr) continue;
+    const auto it = h->find(c.tsval.ts);
+    if (it == h->end()) return true;
+    const auto& e = it->second;
+    if (!e.w.has_value() || !(*e.w == c) || !e.pw.has_value() ||
+        !(*e.pw == c.tsval)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RegularReader::is_safe(const WTuple& c) const {
+  int vouchers = 0;
+  for (std::size_t i = 0; i < hist1_.size(); ++i) {
+    if (object_vouches(i, c)) ++vouchers;
+  }
+  return vouchers >= res_.b + 1;
+}
+
+bool RegularReader::is_invalid(const WTuple& c) const {
+  int deniers = 0;
+  for (std::size_t i = 0; i < hist1_.size(); ++i) {
+    if (object_denies(i, c)) ++deniers;
+  }
+  return deniers >= res_.t + res_.b + 1;
+}
+
+void RegularReader::sweep_removals() {
+  // Figure 6 lines 26-27.
+  for (auto& cand : candidates_) {
+    if (!cand.removed && is_invalid(cand.tuple)) {
+      cand.removed = true;
+      ++diag_.candidates_removed;
+    }
+  }
+}
+
+bool RegularReader::conflict(std::size_t i, std::size_t k) const {
+  // Figure 6 line 1: object k's round-1 history contains a candidate tuple
+  // accusing object i of a reader timestamp above tsrFR.
+  const auto j = static_cast<std::size_t>(reader_index_);
+  const auto* h = replied_history(1, k);
+  if (h == nullptr) return false;
+  for (const auto& cand : candidates_) {
+    if (cand.removed) continue;
+    for (const auto& [ts, entry] : *h) {
+      if (!entry.w.has_value() || !(*entry.w == cand.tuple)) continue;
+      const auto& arr = cand.tuple.tsrarray;
+      if (i >= arr.size() || !arr[i].has_value()) continue;
+      const auto& row = *arr[i];
+      if (j < row.size() && row[j] > tsr_first_round_) return true;
+    }
+  }
+  return false;
+}
+
+bool RegularReader::round1_complete() const {
+  std::uint64_t responders = 0;
+  int count = 0;
+  for (std::size_t i = 0; i < hist1_.size(); ++i) {
+    if (hist1_[i].has_value()) {
+      responders |= 1ULL << i;
+      ++count;
+    }
+  }
+  if (count < res_.quorum()) return false;
+
+  std::vector<std::uint64_t> adj(hist1_.size(), 0);
+  bool any_edge = false;
+  for (std::size_t i = 0; i < hist1_.size(); ++i) {
+    if (!(responders & (1ULL << i))) continue;
+    for (std::size_t k = i + 1; k < hist1_.size(); ++k) {
+      if (!(responders & (1ULL << k))) continue;
+      if (conflict(i, k) || conflict(k, i)) {
+        adj[i] |= 1ULL << k;
+        adj[k] |= 1ULL << i;
+        any_edge = true;
+      }
+    }
+  }
+  if (!any_edge) return true;
+  return has_independent_set(adj, responders, res_.quorum());
+}
+
+void RegularReader::start_round2(net::Context& ctx) {
+  phase_ = Phase::Round2;
+  ++tsr_;
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::ReadMsg{2, tsr_, request_cache_ts_});
+  }
+}
+
+void RegularReader::try_finish(net::Context& ctx) {
+  if (phase_ != Phase::Round2) return;
+  // Figure 6 lines 14-16, plus the Section 5.1 cache fallback when C drains
+  // (in the unoptimized protocol C always retains w0, reported by every
+  // correct object's history[0], so the fallback never fires there and the
+  // cache is still bottom -- equivalent to the paper's two variants).
+  bool any_live = false;
+  Ts max_ts = 0;
+  for (const auto& cand : candidates_) {
+    if (cand.removed) continue;
+    any_live = true;
+    max_ts = std::max(max_ts, cand.tuple.tsval.ts);
+  }
+  if (!any_live) {
+    diag_.returned_from_cache = true;
+    complete(ctx, cache_, /*from_cache=*/true);
+    return;
+  }
+  for (const auto& cand : candidates_) {
+    if (cand.removed || cand.tuple.tsval.ts != max_ts) continue;
+    if (is_safe(cand.tuple)) {
+      complete(ctx, cand.tuple.tsval, /*from_cache=*/false);
+      return;
+    }
+  }
+}
+
+void RegularReader::complete(net::Context& ctx, TsVal v, bool from_cache) {
+  phase_ = Phase::Idle;
+  cache_ = v;  // Section 5.1: remember the last returned value
+  ReadResult result;
+  result.tsval = std::move(v);
+  result.rounds = 2;
+  result.invoked_at = invoked_at_;
+  result.completed_at = ctx.now();
+  result.returned_default = from_cache;
+  auto cb = std::move(cb_);
+  cb_ = nullptr;
+  if (cb) cb(result);
+}
+
+}  // namespace rr::core

@@ -1,0 +1,99 @@
+// Reader automaton of the SWMR *regular* storage (paper Figure 6).
+//
+// Same two-round communication pattern as the safe reader, but objects reply
+// with their whole write *history* (Figure 5), and the value-selection
+// predicates become per-timestamp-slot:
+//   safe(c):    >= b+1 objects confirm slot c.ts with c's pair/tuple,
+//   invalid(c): >= t+b+1 objects deny slot c.ts (missing or mismatching).
+//
+// With `optimized` set (Section 5.1), the reader caches the last value it
+// returned and asks objects only for the history suffix from the cached
+// timestamp; if the candidate set drains, it falls back to the cache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/client_types.hpp"
+#include "net/process.hpp"
+#include "wire/messages.hpp"
+
+namespace rr::core {
+
+class RegularReader : public net::Process {
+ public:
+  RegularReader(const Resilience& res, const Topology& topo, int reader_index,
+                bool optimized);
+
+  void read(net::Context& ctx, ReadCallback cb);
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] bool busy() const { return phase_ != Phase::Idle; }
+  [[nodiscard]] bool optimized() const { return optimized_; }
+  [[nodiscard]] const TsVal& cache() const { return cache_; }
+
+  struct Diag {
+    int round1_acks{0};
+    int round2_acks{0};
+    std::uint64_t history_slots_received{0};
+    int candidates_added{0};
+    int candidates_removed{0};
+    bool returned_from_cache{false};
+  };
+  [[nodiscard]] const Diag& diag() const { return diag_; }
+
+ private:
+  enum class Phase { Idle, Round1, Round2 };
+
+  struct Candidate {
+    WTuple tuple;
+    bool removed{false};
+  };
+
+  void handle_ack(net::Context& ctx, ProcessId from,
+                  const wire::HistReadAckMsg& m);
+  void add_candidates_from(const wire::History& h);
+  void sweep_removals();
+
+  /// The paper's history[rnd][i][ts] lookup; nullopt when object i has not
+  /// replied in round rnd. A reply without slot ts reads as <nil, nil>.
+  [[nodiscard]] const wire::History* replied_history(int rnd,
+                                                     std::size_t i) const;
+
+  [[nodiscard]] bool conflict(std::size_t i, std::size_t k) const;
+  [[nodiscard]] bool round1_complete() const;
+  void start_round2(net::Context& ctx);
+
+  [[nodiscard]] bool object_vouches(std::size_t i, const WTuple& c) const;
+  [[nodiscard]] bool object_denies(std::size_t i, const WTuple& c) const;
+  [[nodiscard]] bool is_safe(const WTuple& c) const;
+  [[nodiscard]] bool is_invalid(const WTuple& c) const;
+  void try_finish(net::Context& ctx);
+  void complete(net::Context& ctx, TsVal v, bool from_cache);
+
+  Resilience res_;
+  Topology topo_;
+  int reader_index_;
+  bool optimized_;
+
+  // Persistent state.
+  ReaderTs tsr_{0};
+  TsVal cache_{TsVal::bottom()};  ///< last returned value (Section 5.1)
+
+  // Per-read state.
+  Phase phase_{Phase::Idle};
+  ReaderTs tsr_first_round_{0};
+  Ts request_cache_ts_{0};  ///< cache.ts snapshot sent with this read
+  std::vector<std::optional<wire::History>> hist1_;
+  std::vector<std::optional<wire::History>> hist2_;
+  std::vector<Candidate> candidates_;
+  ReadCallback cb_;
+  Time invoked_at_{0};
+  Diag diag_{};
+};
+
+}  // namespace rr::core

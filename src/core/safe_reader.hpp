@@ -1,0 +1,104 @@
+// Reader automaton of the SWMR *safe* storage (paper Figure 4).
+//
+// The READ takes exactly two communication round-trips. In both rounds the
+// reader *writes* a fresh timestamp into the objects' tsr[j] fields and reads
+// back their <pw, w> fields. The stored timestamps let the reader convict
+// liars: every written tuple embeds the reader-timestamp rows the writer
+// harvested in its PW round (currenttsrarray), so a tuple claiming that
+// object i reported a reader timestamp higher than the reader ever issued
+// proves that the tuple's reporter or object i is malicious -- the round-1
+// "conflict" predicate. Round 2 then waits until the highest candidate is
+// vouched for by b+1 objects (safe) or until the candidate set drains.
+//
+// Key liveness subtlety faithfully reproduced from the paper: each round
+// sends one batch of messages, but the *waits* are predicate-driven and may
+// consume replies from more than S - t objects (every correct object's reply
+// eventually arrives on the reliable channels). This is how a 2-round read
+// coexists with the fact that any fixed quorum of S - t replies can be
+// uninformative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/client_types.hpp"
+#include "net/process.hpp"
+
+namespace rr::core {
+
+class SafeReader : public net::Process {
+ public:
+  SafeReader(const Resilience& res, const Topology& topo, int reader_index);
+
+  /// Invokes READ(). One operation at a time per client.
+  void read(net::Context& ctx, ReadCallback cb);
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] bool busy() const { return phase_ != Phase::Idle; }
+  [[nodiscard]] int reader_index() const { return reader_index_; }
+
+  /// Diagnostics: number of replies consumed by the last completed read,
+  /// and whether the round-1 conflict filter ever rejected a quorum.
+  struct Diag {
+    int round1_acks{0};
+    int round2_acks{0};
+    int conflicts_seen{0};
+    int candidates_added{0};
+    int candidates_removed{0};
+  };
+  [[nodiscard]] const Diag& diag() const { return diag_; }
+
+ private:
+  enum class Phase { Idle, Round1, Round2 };
+
+  /// Everything object i reported during the current read. Byzantine objects
+  /// may report several distinct tuples; sets are per-object, so a lying
+  /// object still counts only once in every cardinality predicate.
+  struct ObjReports {
+    bool responded_round1{false};
+    std::vector<WTuple> w_round1;   ///< distinct tuples in round-1 w fields
+    std::vector<WTuple> w_any;      ///< distinct tuples in w fields, any round
+    std::vector<TsVal> pw_any;      ///< distinct pairs in pw fields, any round
+  };
+
+  struct Candidate {
+    WTuple tuple;
+    bool removed{false};
+  };
+
+  void handle_ack(net::Context& ctx, ProcessId from,
+                  const wire::ReadAckMsg& m);
+  void record_reports(std::size_t i, const wire::ReadAckMsg& m, bool round1);
+  void add_candidate(const WTuple& w);
+  void sweep_removals();
+
+  [[nodiscard]] bool conflict(std::size_t i, std::size_t k) const;
+  [[nodiscard]] bool round1_complete() const;
+  void start_round2(net::Context& ctx);
+
+  [[nodiscard]] bool vouches(const ObjReports& rep, const WTuple& c) const;
+  [[nodiscard]] bool is_safe(const WTuple& c) const;
+  void try_finish(net::Context& ctx);
+  void complete(net::Context& ctx, TsVal v, bool returned_default);
+
+  Resilience res_;
+  Topology topo_;
+  int reader_index_;
+
+  // Persistent across reads (Figure 4 line 6).
+  ReaderTs tsr_{0};
+
+  // Per-read state.
+  Phase phase_{Phase::Idle};
+  ReaderTs tsr_first_round_{0};  ///< the paper's tsrFR
+  std::vector<ObjReports> reports_;
+  std::vector<Candidate> candidates_;
+  ReadCallback cb_;
+  Time invoked_at_{0};
+  Diag diag_{};
+};
+
+}  // namespace rr::core

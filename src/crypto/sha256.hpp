@@ -1,0 +1,31 @@
+// SHA-256 and HMAC-SHA256, implemented from scratch (FIPS 180-4 / RFC 2104).
+//
+// Used by the authenticated-data baseline (src/baselines/authenticated.*) to
+// simulate writer signatures: Byzantine base objects do not hold the writer's
+// key, so they cannot forge fresh values -- exactly the unforgeability the
+// paper's footnote on authenticated storage relies on. Verified against the
+// standard NIST/RFC test vectors in tests/test_crypto.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rr::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+[[nodiscard]] Digest sha256(const std::string& data);
+
+[[nodiscard]] Digest hmac_sha256(const std::string& key,
+                                 const std::string& data);
+
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+/// Digest as a 32-byte binary string (the wire form of a Mac).
+[[nodiscard]] std::string to_bytes(const Digest& d);
+
+/// Constant-time comparison of a digest against a wire Mac.
+[[nodiscard]] bool mac_equal(const Digest& d, const std::string& mac);
+
+}  // namespace rr::crypto

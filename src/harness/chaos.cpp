@@ -1,0 +1,69 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace rr::harness {
+namespace {
+
+struct ChaosState {
+  Rng rng;
+  std::vector<int> held;  ///< currently held object indices
+
+  explicit ChaosState(std::uint64_t seed) : rng(seed) {}
+};
+
+void schedule_wave(Deployment& d, const ChaosOptions& opts,
+                   const std::shared_ptr<ChaosState>& st, Time at);
+
+void release_wave(Deployment& d, const ChaosOptions& opts,
+                  const std::shared_ptr<ChaosState>& st, Time at) {
+  // Releases run as steps of the writer process purely for scheduling; they
+  // touch only the world's channel state.
+  d.world().post(at, d.writer_pid(), [&d, opts, st](net::Context& ctx) {
+    for (const int i : st->held) {
+      d.world().release_all(d.object_pid(i));
+    }
+    st->held.clear();
+    schedule_wave(d, opts, st, ctx.now() + opts.gap);
+  });
+}
+
+void schedule_wave(Deployment& d, const ChaosOptions& opts,
+                   const std::shared_ptr<ChaosState>& st, Time at) {
+  if (at > opts.horizon) return;
+  d.world().post(at, d.writer_pid(), [&d, opts, st](net::Context& ctx) {
+    // Pick a fresh random subset of objects to isolate.
+    const int S = d.res().num_objects;
+    const int count =
+        1 + static_cast<int>(st->rng.index(
+                static_cast<std::size_t>(std::max(1, opts.max_held))));
+    while (static_cast<int>(st->held.size()) < count) {
+      const int candidate = static_cast<int>(st->rng.index(
+          static_cast<std::size_t>(S)));
+      if (std::find(st->held.begin(), st->held.end(), candidate) ==
+          st->held.end()) {
+        st->held.push_back(candidate);
+      }
+    }
+    for (const int i : st->held) {
+      d.world().hold_all(d.object_pid(i));
+    }
+    release_wave(d, opts, st, ctx.now() + opts.hold_duration);
+  });
+}
+
+}  // namespace
+
+void inject_chaos(Deployment& d, const ChaosOptions& opts) {
+  RR_ASSERT_MSG(opts.max_held + d.options().faults.total_faulty() <=
+                    d.res().t,
+                "held + faulty objects must stay within the budget t");
+  auto st = std::make_shared<ChaosState>(opts.seed);
+  schedule_wave(d, opts, st, opts.start);
+}
+
+}  // namespace rr::harness

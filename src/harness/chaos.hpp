@@ -1,0 +1,36 @@
+// Chaos injection: adversarial schedule fuzzing for deployments.
+//
+// The model's adversary controls message delays. Beyond the delay models,
+// the ChaosPlan periodically *holds* all channels of a rotating subset of
+// at most `max_held` base objects (they look crashed for a while) and
+// releases them later -- realizing the proofs' "messages remain in transit"
+// tactic at random. Holds are always eventually released, so the runs stay
+// legal (reliable channels, finite delays) and wait-freedom must survive.
+//
+// Combined with Byzantine objects this approximates the strongest adversary
+// the model admits: lying objects plus scheduler-controlled asynchrony.
+#pragma once
+
+#include <vector>
+
+#include "harness/deployment.hpp"
+
+namespace rr::harness {
+
+struct ChaosOptions {
+  /// Objects whose channels may be held simultaneously. Defaults to the
+  /// full crash budget t minus already-planned crashed objects (the caller
+  /// must keep total unreachable objects <= t or reads may legally stall
+  /// until release).
+  int max_held{1};
+  Time start{0};
+  Time horizon{2'000'000};     ///< stop injecting after this virtual time
+  Time hold_duration{30'000};  ///< how long a subset stays held
+  Time gap{20'000};            ///< pause between hold waves
+  std::uint64_t seed{1};
+};
+
+/// Schedules hold/release waves on `d.world()`. Call before d.run().
+void inject_chaos(Deployment& d, const ChaosOptions& opts);
+
+}  // namespace rr::harness

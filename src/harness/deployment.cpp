@@ -1,0 +1,361 @@
+#include "harness/deployment.hpp"
+
+#include <utility>
+
+#include "baselines/abd.hpp"
+#include "baselines/authenticated.hpp"
+#include "baselines/fastwrite.hpp"
+#include "baselines/polling.hpp"
+#include "common/assert.hpp"
+#include "core/regular_reader.hpp"
+#include "core/safe_reader.hpp"
+#include "core/writer.hpp"
+#include "objects/regular_object.hpp"
+#include "objects/safe_object.hpp"
+
+namespace rr::harness {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::Safe: return "gv06-safe";
+    case Protocol::Regular: return "gv06-regular";
+    case Protocol::RegularOptimized: return "gv06-regular-opt";
+    case Protocol::Abd: return "abd";
+    case Protocol::Polling: return "polling";
+    case Protocol::FastWrite: return "fastwrite";
+    case Protocol::Auth: return "authenticated";
+  }
+  return "?";
+}
+
+Semantics promised_semantics(Protocol p) {
+  switch (p) {
+    case Protocol::Safe:
+    case Protocol::Polling:
+    case Protocol::FastWrite:
+      return Semantics::Safe;
+    case Protocol::Regular:
+    case Protocol::RegularOptimized:
+    case Protocol::Auth:
+      return Semantics::Regular;
+    case Protocol::Abd:
+      return Semantics::Atomic;
+  }
+  return Semantics::Safe;
+}
+
+FaultPlan FaultPlan::crash_only(int count) {
+  FaultPlan plan;
+  for (int i = 0; i < count; ++i) plan.crashed.push_back(i);
+  return plan;
+}
+
+FaultPlan FaultPlan::mixed(int byz, adversary::StrategyKind kind, int crash) {
+  FaultPlan plan;
+  for (int i = 0; i < byz; ++i) plan.byzantine[i] = kind;
+  for (int i = byz; i < byz + crash; ++i) plan.crashed.push_back(i);
+  return plan;
+}
+
+std::string auth_key() { return "rr-writer-signing-key-0001"; }
+
+struct Deployment::Clients {
+  // Exactly one writer pointer and one reader family is non-null, matching
+  // the protocol. Raw pointers: the processes are owned by the World.
+  core::Writer* core_writer{nullptr};
+  std::vector<core::SafeReader*> safe_readers;
+  std::vector<core::RegularReader*> regular_readers;
+  baselines::AbdWriter* abd_writer{nullptr};
+  std::vector<baselines::AbdReader*> abd_readers;
+  baselines::PollingWriter* polling_writer{nullptr};
+  baselines::FastWriter* fast_writer{nullptr};
+  std::vector<baselines::PollingReader*> polling_readers;
+  baselines::AuthWriter* auth_writer{nullptr};
+  std::vector<baselines::AuthReader*> auth_readers;
+};
+
+Deployment::Deployment(DeploymentOptions opts)
+    : opts_(std::move(opts)),
+      topo_(opts_.res.num_readers, opts_.res.num_objects),
+      clients_(std::make_unique<Clients>()) {
+  RR_ASSERT(opts_.res.valid());
+  RR_ASSERT_MSG(opts_.faults.total_faulty() <= opts_.res.t,
+                "fault plan exceeds the resilience budget t");
+  RR_ASSERT_MSG(static_cast<int>(opts_.faults.byzantine.size()) <= opts_.res.b,
+                "fault plan exceeds the Byzantine budget b");
+  build();
+}
+
+Deployment::~Deployment() = default;
+
+namespace {
+
+adversary::Flavor flavor_for(Protocol p) {
+  switch (p) {
+    case Protocol::Safe: return adversary::Flavor::Safe;
+    case Protocol::Regular:
+    case Protocol::RegularOptimized:
+      return adversary::Flavor::Regular;
+    case Protocol::Abd: return adversary::Flavor::Abd;
+    case Protocol::Polling:
+    case Protocol::FastWrite:
+      return adversary::Flavor::Poll;
+    case Protocol::Auth: return adversary::Flavor::Auth;
+  }
+  return adversary::Flavor::Safe;
+}
+
+}  // namespace
+
+void Deployment::build() {
+  sim::WorldOptions wopts;
+  wopts.seed = opts_.seed;
+  wopts.reserialize = opts_.reserialize;
+  world_ = std::make_unique<sim::World>(wopts);
+
+  switch (opts_.delay) {
+    case DelayKind::Fixed:
+      world_->set_delay_model(std::make_unique<sim::FixedDelay>(opts_.delay_lo));
+      break;
+    case DelayKind::Uniform:
+      world_->set_delay_model(
+          std::make_unique<sim::UniformDelay>(opts_.delay_lo, opts_.delay_hi));
+      break;
+    case DelayKind::HeavyTail:
+      world_->set_delay_model(std::make_unique<sim::HeavyTailDelay>(
+          opts_.delay_lo, opts_.delay_hi, 0.05));
+      break;
+  }
+
+  const Resilience& res = opts_.res;
+  auto& c = *clients_;
+
+  // Registration order matches Topology: writer, readers, objects.
+  switch (opts_.protocol) {
+    case Protocol::Safe: {
+      auto w = std::make_unique<core::Writer>(res, topo_);
+      c.core_writer = w.get();
+      world_->add_process(std::move(w));
+      for (int j = 0; j < res.num_readers; ++j) {
+        auto r = std::make_unique<core::SafeReader>(res, topo_, j);
+        c.safe_readers.push_back(r.get());
+        world_->add_process(std::move(r));
+      }
+      break;
+    }
+    case Protocol::Regular:
+    case Protocol::RegularOptimized: {
+      auto w = std::make_unique<core::Writer>(res, topo_);
+      c.core_writer = w.get();
+      world_->add_process(std::move(w));
+      const bool optimized = opts_.protocol == Protocol::RegularOptimized;
+      for (int j = 0; j < res.num_readers; ++j) {
+        auto r = std::make_unique<core::RegularReader>(res, topo_, j,
+                                                       optimized);
+        c.regular_readers.push_back(r.get());
+        world_->add_process(std::move(r));
+      }
+      break;
+    }
+    case Protocol::Abd: {
+      auto w = std::make_unique<baselines::AbdWriter>(res, topo_);
+      c.abd_writer = w.get();
+      world_->add_process(std::move(w));
+      for (int j = 0; j < res.num_readers; ++j) {
+        auto r = std::make_unique<baselines::AbdReader>(res, topo_, j);
+        c.abd_readers.push_back(r.get());
+        world_->add_process(std::move(r));
+      }
+      break;
+    }
+    case Protocol::Polling:
+    case Protocol::FastWrite: {
+      if (opts_.protocol == Protocol::Polling) {
+        auto w = std::make_unique<baselines::PollingWriter>(res, topo_);
+        c.polling_writer = w.get();
+        world_->add_process(std::move(w));
+      } else {
+        auto w = std::make_unique<baselines::FastWriter>(res, topo_);
+        c.fast_writer = w.get();
+        world_->add_process(std::move(w));
+      }
+      for (int j = 0; j < res.num_readers; ++j) {
+        auto r = std::make_unique<baselines::PollingReader>(res, topo_, j);
+        c.polling_readers.push_back(r.get());
+        world_->add_process(std::move(r));
+      }
+      break;
+    }
+    case Protocol::Auth: {
+      auto w = std::make_unique<baselines::AuthWriter>(res, topo_, auth_key());
+      c.auth_writer = w.get();
+      world_->add_process(std::move(w));
+      for (int j = 0; j < res.num_readers; ++j) {
+        auto r =
+            std::make_unique<baselines::AuthReader>(res, topo_, j, auth_key());
+        c.auth_readers.push_back(r.get());
+        world_->add_process(std::move(r));
+      }
+      break;
+    }
+  }
+
+  // Base objects: honest, Byzantine impostor, or honest-then-crashed.
+  const auto flavor = flavor_for(opts_.protocol);
+  for (int i = 0; i < res.num_objects; ++i) {
+    std::unique_ptr<net::Process> obj;
+    const auto byz = opts_.faults.byzantine.find(i);
+    if (byz != opts_.faults.byzantine.end()) {
+      obj = adversary::make_byzantine(byz->second, flavor, topo_, res, i);
+    } else {
+      switch (flavor) {
+        case adversary::Flavor::Safe:
+          obj = std::make_unique<objects::SafeObject>(topo_, i);
+          break;
+        case adversary::Flavor::Regular:
+          obj = std::make_unique<objects::RegularObject>(topo_, i,
+                                                         opts_.history_limit);
+          break;
+        case adversary::Flavor::Poll:
+          obj = std::make_unique<baselines::PollObject>(topo_, i);
+          break;
+        case adversary::Flavor::Auth:
+          obj = std::make_unique<baselines::AuthObject>(topo_, i);
+          break;
+        case adversary::Flavor::Abd:
+          obj = std::make_unique<baselines::AbdObject>(topo_, i);
+          break;
+      }
+    }
+    const ProcessId pid = world_->add_process(std::move(obj));
+    RR_ASSERT(pid == topo_.object(i));
+  }
+  for (const int i : opts_.faults.crashed) {
+    world_->crash(topo_.object(i));
+  }
+  world_->start();
+}
+
+void Deployment::do_write(net::Context& ctx, Value v, core::WriteCallback cb) {
+  auto& cl = *clients_;
+  if (cl.core_writer != nullptr) {
+    cl.core_writer->write(ctx, std::move(v), std::move(cb));
+  } else if (cl.abd_writer != nullptr) {
+    cl.abd_writer->write(ctx, std::move(v), std::move(cb));
+  } else if (cl.polling_writer != nullptr) {
+    cl.polling_writer->write(ctx, std::move(v), std::move(cb));
+  } else if (cl.fast_writer != nullptr) {
+    cl.fast_writer->write(ctx, std::move(v), std::move(cb));
+  } else if (cl.auth_writer != nullptr) {
+    cl.auth_writer->write(ctx, std::move(v), std::move(cb));
+  }
+}
+
+void Deployment::do_read(net::Context& ctx, int reader, core::ReadCallback cb) {
+  auto& cl = *clients_;
+  const auto j = static_cast<std::size_t>(reader);
+  if (!cl.safe_readers.empty()) {
+    cl.safe_readers[j]->read(ctx, std::move(cb));
+  } else if (!cl.regular_readers.empty()) {
+    cl.regular_readers[j]->read(ctx, std::move(cb));
+  } else if (!cl.abd_readers.empty()) {
+    cl.abd_readers[j]->read(ctx, std::move(cb));
+  } else if (!cl.polling_readers.empty()) {
+    cl.polling_readers[j]->read(ctx, std::move(cb));
+  } else if (!cl.auth_readers.empty()) {
+    cl.auth_readers[j]->read(ctx, std::move(cb));
+  }
+}
+
+void Deployment::invoke_write(Time at, Value v, core::WriteCallback cb) {
+  world_->post(at, writer_pid(),
+               [this, v = std::move(v), cb = std::move(cb)](net::Context& ctx) {
+                 do_write(ctx, v, cb);
+               });
+}
+
+void Deployment::invoke_read(Time at, int reader, core::ReadCallback cb) {
+  RR_ASSERT(reader >= 0 && reader < opts_.res.num_readers);
+  world_->post(at, reader_pid(reader),
+               [this, reader, cb = std::move(cb)](net::Context& ctx) {
+                 do_read(ctx, reader, cb);
+               });
+}
+
+void Deployment::logged_write(Time at, Value v, core::WriteCallback cb) {
+  world_->post(at, writer_pid(), [this, v = std::move(v),
+                                  cb = std::move(cb)](net::Context& ctx) {
+    // The log handle is created at actual invocation (inside the writer's
+    // step) so invoked_at is exact; the intended value is recorded up front
+    // in case the write never completes.
+    const auto handle = log_.record_invocation(checker::OpRecord::Kind::Write,
+                                               -1, ctx.now(), v);
+    do_write(ctx, v, [this, handle, v, cb](const core::WriteResult& r) {
+      log_.record_write_response(handle, r.completed_at, r.ts, v);
+      if (cb) cb(r);
+    });
+  });
+}
+
+void Deployment::logged_read(Time at, int reader, core::ReadCallback cb) {
+  RR_ASSERT(reader >= 0 && reader < opts_.res.num_readers);
+  world_->post(at, reader_pid(reader), [this, reader,
+                                        cb = std::move(cb)](net::Context& ctx) {
+    const auto handle = log_.record_invocation(checker::OpRecord::Kind::Read,
+                                               reader, ctx.now());
+    do_read(ctx, reader, [this, handle, cb](const core::ReadResult& r) {
+      log_.record_read_response(handle, r.completed_at, r.tsval);
+      if (cb) cb(r);
+    });
+  });
+}
+
+checker::CheckReport Deployment::check() const {
+  return check(promised_semantics(opts_.protocol));
+}
+
+checker::CheckReport Deployment::check(Semantics s) const {
+  const auto ops = log_.snapshot();
+  auto report = checker::check_well_formed(ops);
+  checker::CheckReport semantic;
+  switch (s) {
+    case Semantics::Safe: semantic = checker::check_safety(ops); break;
+    case Semantics::Regular: semantic = checker::check_regularity(ops); break;
+    case Semantics::Atomic: semantic = checker::check_atomicity(ops); break;
+  }
+  for (auto& v : semantic.violations) report.violations.push_back(std::move(v));
+  report.reads_checked = semantic.reads_checked;
+  report.writes_checked = semantic.writes_checked;
+  return report;
+}
+
+core::Writer& Deployment::core_writer() {
+  RR_ASSERT(clients_->core_writer != nullptr);
+  return *clients_->core_writer;
+}
+
+core::SafeReader& Deployment::safe_reader(int j) {
+  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->safe_readers.size()));
+  return *clients_->safe_readers[static_cast<std::size_t>(j)];
+}
+
+core::RegularReader& Deployment::regular_reader(int j) {
+  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->regular_readers.size()));
+  return *clients_->regular_readers[static_cast<std::size_t>(j)];
+}
+
+baselines::PollingReader& Deployment::polling_reader(int j) {
+  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->polling_readers.size()));
+  return *clients_->polling_readers[static_cast<std::size_t>(j)];
+}
+
+baselines::AuthReader& Deployment::auth_reader(int j) {
+  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->auth_readers.size()));
+  return *clients_->auth_readers[static_cast<std::size_t>(j)];
+}
+
+net::Process& Deployment::object_process(int i) {
+  return world_->process(topo_.object(i));
+}
+
+}  // namespace rr::harness

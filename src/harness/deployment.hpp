@@ -1,0 +1,147 @@
+// One-stop construction of a simulated storage deployment.
+//
+// A Deployment wires together, inside a sim::World: one writer, R readers,
+// and S base objects of the chosen protocol family, with a fault plan
+// (crashed objects, Byzantine impostors by strategy) and a delay model. It
+// exposes a protocol-agnostic invoke/read API plus a HistoryLog so tests and
+// benches can drive any protocol through the same code paths and check the
+// resulting history against the paper's correctness conditions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "checker/history.hpp"
+#include "common/types.hpp"
+#include "core/client_types.hpp"
+#include "sim/world.hpp"
+
+namespace rr::core {
+class Writer;
+class SafeReader;
+class RegularReader;
+}  // namespace rr::core
+
+namespace rr::baselines {
+class PollingReader;
+class AuthReader;
+}  // namespace rr::baselines
+
+namespace rr::harness {
+
+enum class Protocol {
+  Safe,              ///< Guerraoui-Vukolic safe storage (Figures 2-4)
+  Regular,           ///< Guerraoui-Vukolic regular storage (Figures 5-6)
+  RegularOptimized,  ///< + Section 5.1 cached history suffixes
+  Abd,               ///< crash-only atomic baseline
+  Polling,           ///< readers-don't-write safe baseline (b+1-round regime)
+  FastWrite,         ///< 1-round writes, needs S >= 2t+2b+1
+  Auth,              ///< authenticated regular baseline (1-round ops)
+};
+
+[[nodiscard]] const char* to_string(Protocol p);
+
+/// Semantics each protocol promises (what the checker should verify).
+enum class Semantics { Safe, Regular, Atomic };
+[[nodiscard]] Semantics promised_semantics(Protocol p);
+
+struct FaultPlan {
+  std::vector<int> crashed;  ///< object indices crashed from time 0
+  std::map<int, adversary::StrategyKind> byzantine;  ///< index -> strategy
+
+  [[nodiscard]] int total_faulty() const {
+    return static_cast<int>(crashed.size() + byzantine.size());
+  }
+
+  /// t crashed objects, none Byzantine.
+  static FaultPlan crash_only(int count);
+  /// `byz` Byzantine objects with `kind`, plus `crash` crashed ones (picked
+  /// from the low indices: byzantine first, then crashed).
+  static FaultPlan mixed(int byz, adversary::StrategyKind kind, int crash);
+};
+
+enum class DelayKind { Fixed, Uniform, HeavyTail };
+
+struct DeploymentOptions {
+  Resilience res{Resilience::optimal(1, 1)};
+  Protocol protocol{Protocol::Safe};
+  std::uint64_t seed{1};
+  FaultPlan faults{};
+  DelayKind delay{DelayKind::Uniform};
+  Time delay_lo{1'000};
+  Time delay_hi{10'000};
+  bool reserialize{false};  ///< round-trip every message through the codec
+  /// Regular-object history garbage collection: retain at most this many
+  /// slots (0 = unlimited, the paper's presentation). Only meaningful for
+  /// the Regular / RegularOptimized protocols.
+  std::size_t history_limit{0};
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentOptions opts);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  [[nodiscard]] sim::World& world() { return *world_; }
+  [[nodiscard]] const Topology& topo() const { return topo_; }
+  [[nodiscard]] const Resilience& res() const { return opts_.res; }
+  [[nodiscard]] const DeploymentOptions& options() const { return opts_; }
+  [[nodiscard]] checker::HistoryLog& log() { return log_; }
+
+  [[nodiscard]] ProcessId writer_pid() const { return topo_.writer(); }
+  [[nodiscard]] ProcessId reader_pid(int j) const { return topo_.reader(j); }
+  [[nodiscard]] ProcessId object_pid(int i) const { return topo_.object(i); }
+
+  /// Schedules WRITE(v) at virtual time `at` (unlogged).
+  void invoke_write(Time at, Value v, core::WriteCallback cb);
+  /// Schedules READ() by reader j at virtual time `at` (unlogged).
+  void invoke_read(Time at, int reader, core::ReadCallback cb);
+
+  /// Logged variants: record invocation/response into the HistoryLog and
+  /// then invoke `cb` (which may be null).
+  void logged_write(Time at, Value v, core::WriteCallback cb = nullptr);
+  void logged_read(Time at, int reader, core::ReadCallback cb = nullptr);
+
+  /// Runs the world to quiescence and returns executed events.
+  std::uint64_t run() { return world_->run(); }
+
+  /// Checks the recorded history against the protocol's promised semantics
+  /// (plus well-formedness).
+  [[nodiscard]] checker::CheckReport check() const;
+  [[nodiscard]] checker::CheckReport check(Semantics s) const;
+
+  /// Direct access to the concrete client automata (asserts on protocol
+  /// mismatch). Used by protocol-specific tests.
+  [[nodiscard]] core::Writer& core_writer();
+  [[nodiscard]] core::SafeReader& safe_reader(int j);
+  [[nodiscard]] core::RegularReader& regular_reader(int j);
+  [[nodiscard]] baselines::PollingReader& polling_reader(int j);
+  [[nodiscard]] baselines::AuthReader& auth_reader(int j);
+  [[nodiscard]] net::Process& object_process(int i);
+
+ private:
+  struct Clients;
+
+  void build();
+  void do_write(net::Context& ctx, Value v, core::WriteCallback cb);
+  void do_read(net::Context& ctx, int reader, core::ReadCallback cb);
+
+  DeploymentOptions opts_;
+  Topology topo_;
+  std::unique_ptr<sim::World> world_;
+  std::unique_ptr<Clients> clients_;
+  checker::HistoryLog log_;
+};
+
+/// The writer's key for the authenticated baseline (shared with readers,
+/// unknown to base objects).
+[[nodiscard]] std::string auth_key();
+
+}  // namespace rr::harness

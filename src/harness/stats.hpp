@@ -1,0 +1,68 @@
+// Latency / round-count accumulators and percentile helpers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rr::harness {
+
+/// Accumulates per-operation metrics.
+class OpStats {
+ public:
+  void add(Time latency, int rounds) {
+    latencies_.push_back(latency);
+    rounds_.push_back(rounds);
+  }
+
+  [[nodiscard]] std::size_t count() const { return latencies_.size(); }
+
+  [[nodiscard]] Time latency_min() const { return pick_latency(0.0); }
+  [[nodiscard]] Time latency_p50() const { return pick_latency(0.50); }
+  [[nodiscard]] Time latency_p99() const { return pick_latency(0.99); }
+  [[nodiscard]] Time latency_max() const { return pick_latency(1.0); }
+  [[nodiscard]] double latency_mean() const {
+    if (latencies_.empty()) return 0.0;
+    double sum = 0;
+    for (const auto l : latencies_) sum += static_cast<double>(l);
+    return sum / static_cast<double>(latencies_.size());
+  }
+
+  [[nodiscard]] int rounds_max() const {
+    return rounds_.empty() ? 0 : *std::max_element(rounds_.begin(),
+                                                   rounds_.end());
+  }
+  [[nodiscard]] int rounds_min() const {
+    return rounds_.empty() ? 0 : *std::min_element(rounds_.begin(),
+                                                   rounds_.end());
+  }
+  [[nodiscard]] double rounds_mean() const {
+    if (rounds_.empty()) return 0.0;
+    double sum = 0;
+    for (const auto r : rounds_) sum += r;
+    return sum / static_cast<double>(rounds_.size());
+  }
+
+  [[nodiscard]] const std::vector<Time>& latencies() const {
+    return latencies_;
+  }
+  [[nodiscard]] const std::vector<int>& rounds() const { return rounds_; }
+
+ private:
+  [[nodiscard]] Time pick_latency(double q) const {
+    if (latencies_.empty()) return 0;
+    std::vector<Time> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  std::vector<Time> latencies_;
+  std::vector<int> rounds_;
+};
+
+}  // namespace rr::harness

@@ -1,0 +1,74 @@
+// Fixed-width table printing for benchmark harnesses: the bench binaries
+// print rows in the shape of the paper's claims tables (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rr::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) rule += "+";
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) print_row(os, row, widths);
+    os.flush();
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(T&& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(v));
+    } else if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(v));
+      return buf;
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << " " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+      if (c + 1 < widths.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rr::harness

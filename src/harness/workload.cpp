@@ -1,0 +1,116 @@
+#include "harness/workload.hpp"
+
+#include <utility>
+
+namespace rr::harness {
+namespace {
+
+/// Shared chaining state for a stream of operations by one client.
+struct StreamState {
+  int remaining{0};
+  Ts next_value{1};
+  Time gap{0};
+  OpStats* stats{nullptr};
+  std::function<void()> on_done;
+};
+
+void schedule_next_write(Deployment& d, const std::shared_ptr<StreamState>& st,
+                         Time at);
+
+void on_write_complete(Deployment& d, const std::shared_ptr<StreamState>& st,
+                       const core::WriteResult& r) {
+  if (st->stats != nullptr) st->stats->add(r.latency(), r.rounds);
+  if (--st->remaining > 0) {
+    schedule_next_write(d, st, r.completed_at + st->gap);
+  } else if (st->on_done) {
+    st->on_done();
+  }
+}
+
+void schedule_next_write(Deployment& d, const std::shared_ptr<StreamState>& st,
+                         Time at) {
+  const Value v = value_for(st->next_value++);
+  d.logged_write(at, v, [&d, st](const core::WriteResult& r) {
+    on_write_complete(d, st, r);
+  });
+}
+
+void schedule_next_read(Deployment& d, int reader,
+                        const std::shared_ptr<StreamState>& st, Time at);
+
+void on_read_complete(Deployment& d, int reader,
+                      const std::shared_ptr<StreamState>& st,
+                      const core::ReadResult& r) {
+  if (st->stats != nullptr) st->stats->add(r.latency(), r.rounds);
+  if (--st->remaining > 0) {
+    schedule_next_read(d, reader, st, r.completed_at + st->gap);
+  } else if (st->on_done) {
+    st->on_done();
+  }
+}
+
+void schedule_next_read(Deployment& d, int reader,
+                        const std::shared_ptr<StreamState>& st, Time at) {
+  d.logged_read(at, reader, [&d, reader, st](const core::ReadResult& r) {
+    on_read_complete(d, reader, st, r);
+  });
+}
+
+}  // namespace
+
+void write_stream(Deployment& d, Time start, Time gap, int count,
+                  OpStats* stats, std::function<void()> on_done) {
+  if (count <= 0) {
+    if (on_done) on_done();
+    return;
+  }
+  auto st = std::make_shared<StreamState>();
+  st->remaining = count;
+  st->gap = gap;
+  st->stats = stats;
+  st->on_done = std::move(on_done);
+  schedule_next_write(d, st, start);
+}
+
+void read_stream(Deployment& d, int reader, Time start, Time gap, int count,
+                 OpStats* stats, std::function<void()> on_done) {
+  if (count <= 0) {
+    if (on_done) on_done();
+    return;
+  }
+  auto st = std::make_shared<StreamState>();
+  st->remaining = count;
+  st->gap = gap;
+  st->stats = stats;
+  st->on_done = std::move(on_done);
+  schedule_next_read(d, reader, st, start);
+}
+
+void mixed_workload(Deployment& d, const MixedWorkloadOptions& opts,
+                    MixedWorkloadStats* stats) {
+  write_stream(d, opts.start, opts.write_gap, opts.writes,
+               stats != nullptr ? &stats->writes : nullptr);
+  for (int j = 0; j < d.res().num_readers; ++j) {
+    read_stream(d, j, opts.start + 500, opts.read_gap, opts.reads_per_reader,
+                stats != nullptr ? &stats->reads : nullptr);
+  }
+}
+
+void sequential_then_reads(Deployment& d, int writes, int reads_per_reader,
+                           MixedWorkloadStats* stats) {
+  auto* write_stats = stats != nullptr ? &stats->writes : nullptr;
+  auto* read_stats = stats != nullptr ? &stats->reads : nullptr;
+  // The write stream finishes before any read begins: the done-callback
+  // schedules the read streams, so every read is non-concurrent with every
+  // write and the checker's strictest branch (exact value pinning) applies.
+  write_stream(d, 0, 1'000, writes, write_stats,
+               [&d, reads_per_reader, read_stats]() {
+                 const Time start = d.world().now() + 10'000;
+                 for (int j = 0; j < d.res().num_readers; ++j) {
+                   read_stream(d, j, start, 2'000, reads_per_reader,
+                               read_stats);
+                 }
+               });
+}
+
+}  // namespace rr::harness

@@ -1,0 +1,60 @@
+// Workload generators over a Deployment.
+//
+// All workloads are chained through operation callbacks (one operation at a
+// time per client, matching Section 2.2) and record into the deployment's
+// HistoryLog, so any run can be checked post-hoc.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client_types.hpp"
+#include "harness/deployment.hpp"
+#include "harness/stats.hpp"
+
+namespace rr::harness {
+
+/// Value written by the k-th write (k >= 1) in generated workloads.
+[[nodiscard]] inline Value value_for(Ts k) {
+  return "v" + std::to_string(k);
+}
+
+/// Schedules `count` writes starting at `start`; each subsequent write is
+/// invoked `gap` after the previous completed. Latencies/rounds are
+/// accumulated into `stats` when non-null.
+void write_stream(Deployment& d, Time start, Time gap, int count,
+                  OpStats* stats = nullptr,
+                  std::function<void()> on_done = nullptr);
+
+/// Schedules `count` reads by reader `j` in the same chained fashion.
+void read_stream(Deployment& d, int reader, Time start, Time gap, int count,
+                 OpStats* stats = nullptr,
+                 std::function<void()> on_done = nullptr);
+
+/// A mixed workload: one write stream plus one read stream per reader, all
+/// concurrent. Returns after scheduling; call d.run() to execute.
+struct MixedWorkloadOptions {
+  int writes{20};
+  int reads_per_reader{20};
+  Time start{0};
+  Time write_gap{5'000};
+  Time read_gap{3'000};
+};
+
+struct MixedWorkloadStats {
+  OpStats writes;
+  OpStats reads;
+};
+
+void mixed_workload(Deployment& d, const MixedWorkloadOptions& opts,
+                    MixedWorkloadStats* stats = nullptr);
+
+/// Read-only after a quiesced prefix of writes: writes run first (serially),
+/// then all reads start. Useful for "read not concurrent with write"
+/// experiments where safety must pin the exact returned value.
+void sequential_then_reads(Deployment& d, int writes, int reads_per_reader,
+                           MixedWorkloadStats* stats = nullptr);
+
+}  // namespace rr::harness

@@ -1,0 +1,179 @@
+#include "lowerbound/fast_read.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace rr::lowerbound {
+namespace {
+
+/// Base object of the strawman: a <pw, w> pair written in two phases,
+/// polled without state changes.
+class StrawmanObject final : public LbObject {
+ public:
+  std::vector<wire::Message> handle(const wire::Message& m) override {
+    std::vector<wire::Message> out;
+    if (const auto* wr = std::get_if<wire::BlWriteMsg>(&m)) {
+      if (wr->phase == 1) {
+        if (wr->ts > pw_.ts) pw_ = TsVal{wr->ts, wr->val};
+      } else {
+        if (wr->ts > w_.ts) {
+          w_ = TsVal{wr->ts, wr->val};
+          if (wr->ts > pw_.ts) pw_ = w_;
+        }
+      }
+      out.push_back(wire::BlWriteAckMsg{wr->phase, wr->ts});
+    } else if (const auto* poll = std::get_if<wire::PollMsg>(&m)) {
+      out.push_back(wire::PollAckMsg{poll->seq, poll->round, pw_, w_});
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::unique_ptr<LbObject> clone() const override {
+    return std::make_unique<StrawmanObject>(*this);
+  }
+
+ private:
+  TsVal pw_{TsVal::bottom()};
+  TsVal w_{TsVal::bottom()};
+};
+
+class StrawmanWrite final : public LbWriteSession {
+ public:
+  StrawmanWrite(const Resilience& res, Ts ts, Value v)
+      : res_(res), ts_(ts), val_(std::move(v)) {}
+
+  [[nodiscard]] wire::Message current_message() const override {
+    return wire::BlWriteMsg{static_cast<std::uint8_t>(phase_), ts_, val_};
+  }
+
+  bool on_ack(int object_index, const wire::Message& ack) override {
+    const auto* a = std::get_if<wire::BlWriteAckMsg>(&ack);
+    if (a == nullptr || complete_) return false;
+    if (a->phase != phase_ || a->ts != ts_) return false;
+    if (acked_.count(object_index) != 0) return false;
+    acked_.insert({object_index, true});
+    if (static_cast<int>(acked_.size()) < res_.quorum()) return false;
+    if (phase_ == 1) {
+      phase_ = 2;
+      acked_.clear();
+      ++rounds_;
+      return true;  // re-broadcast phase-2 message
+    }
+    complete_ = true;
+    return false;
+  }
+
+  [[nodiscard]] bool complete() const override { return complete_; }
+  [[nodiscard]] int rounds_used() const override { return rounds_; }
+
+ private:
+  Resilience res_;
+  Ts ts_;
+  Value val_;
+  int phase_{1};
+  int rounds_{1};
+  bool complete_{false};
+  std::map<int, bool> acked_;
+};
+
+class StrawmanRead final : public LbReadSession {
+ public:
+  StrawmanRead(const Resilience& res, std::uint64_t seq, bool aggressive)
+      : res_(res), seq_(seq), aggressive_(aggressive) {}
+
+  [[nodiscard]] wire::Message request() const override {
+    return wire::PollMsg{seq_, 1};
+  }
+
+  void on_reply(int object_index, const wire::Message& reply) override {
+    if (decided_) return;
+    const auto* ack = std::get_if<wire::PollAckMsg>(&reply);
+    if (ack == nullptr || ack->seq != seq_) return;
+    if (replied_.count(object_index) != 0) return;
+    replied_.insert({object_index, true});
+    reports_.push_back(*ack);
+    if (static_cast<int>(replied_.size()) >= res_.quorum()) decide();
+  }
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] TsVal result() const override {
+    RR_ASSERT(decided_);
+    return result_;
+  }
+
+ private:
+  void decide() {
+    decided_ = true;
+    // Count support for every reported w pair; also track the highest pair
+    // seen anywhere (pw or w).
+    std::vector<std::pair<TsVal, int>> support;
+    TsVal highest = TsVal::bottom();
+    for (const auto& r : reports_) {
+      auto it = std::find_if(support.begin(), support.end(),
+                             [&](const auto& s) { return s.first == r.w; });
+      if (it == support.end()) {
+        support.emplace_back(r.w, 1);
+      } else {
+        ++it->second;
+      }
+      if (r.w.ts > highest.ts) highest = r.w;
+      if (r.pw.ts > highest.ts) highest = r.pw;
+    }
+    // Horn 1: the best b+1-supported pair (cannot have been forged).
+    TsVal vouched = TsVal::bottom();
+    for (const auto& [pair, n] : support) {
+      if (n >= res_.b + 1 && pair.ts > vouched.ts) vouched = pair;
+    }
+    // aggressive: trust the highest report outright when nothing reaches
+    // the b+1 bar (returns forgeries in run5); conservative: stick to the
+    // vouched pair (misses genuine writes in run4).
+    result_ = (aggressive_ && highest.ts > vouched.ts) ? highest : vouched;
+  }
+
+  Resilience res_;
+  std::uint64_t seq_;
+  bool aggressive_;
+  bool decided_{false};
+  TsVal result_{TsVal::bottom()};
+  std::map<int, bool> replied_;
+  std::vector<wire::PollAckMsg> reports_;
+};
+
+class Strawman final : public FastReadProtocol {
+ public:
+  Strawman(const Resilience& res, bool aggressive)
+      : res_(res), aggressive_(aggressive) {}
+
+  [[nodiscard]] const char* name() const override {
+    return aggressive_ ? "strawman-aggressive" : "strawman-conservative";
+  }
+
+  [[nodiscard]] std::unique_ptr<LbObject> make_object(int) override {
+    return std::make_unique<StrawmanObject>();
+  }
+
+  [[nodiscard]] std::unique_ptr<LbWriteSession> make_write(Value v) override {
+    return std::make_unique<StrawmanWrite>(res_, ++write_ts_, std::move(v));
+  }
+
+  [[nodiscard]] std::unique_ptr<LbReadSession> make_read() override {
+    return std::make_unique<StrawmanRead>(res_, ++read_seq_, aggressive_);
+  }
+
+ private:
+  Resilience res_;
+  bool aggressive_;
+  Ts write_ts_{0};
+  std::uint64_t read_seq_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<FastReadProtocol> make_strawman(const Resilience& res,
+                                                bool aggressive) {
+  return std::make_unique<Strawman>(res, aggressive);
+}
+
+}  // namespace rr::lowerbound

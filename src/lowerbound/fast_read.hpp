@@ -1,0 +1,101 @@
+// Abstractions for "fast READ" storage implementations, used by the
+// Figure 1 / Proposition 1 orchestrator (lowerbound/figure_one.*).
+//
+// The lower bound quantifies over *any* implementation in which every READ
+// completes in one communication round-trip over S <= 2t+2b objects, for any
+// number of writer rounds. To execute the proof's runs against an
+// implementation, the orchestrator needs three things, captured by the
+// interfaces below:
+//
+//   LbObject        a deterministic, cloneable base-object automaton
+//                   (cloning realizes the proof's state forging: a malicious
+//                   object "forges its state to sigma" = the orchestrator
+//                   restores a snapshot),
+//   LbWriteSession  a round-driven writer for one WRITE operation,
+//   LbReadSession   a single-round reader that must decide once replies
+//                   from S - t objects have been processed.
+//
+// Everything is synchronous and deterministic: the orchestrator delivers
+// messages by direct calls in a fixed order, so byte-level
+// indistinguishability of runs can be asserted exactly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wire/messages.hpp"
+
+namespace rr::lowerbound {
+
+class LbObject {
+ public:
+  virtual ~LbObject() = default;
+
+  /// Processes one client message, returning the replies (usually one).
+  /// Must be deterministic in (state, message).
+  virtual std::vector<wire::Message> handle(const wire::Message& m) = 0;
+
+  /// Deep copy including all mutable state.
+  [[nodiscard]] virtual std::unique_ptr<LbObject> clone() const = 0;
+};
+
+class LbWriteSession {
+ public:
+  virtual ~LbWriteSession() = default;
+
+  /// The broadcast message of the current round (the writer sends to all
+  /// objects; the orchestrator chooses which actually receive it).
+  [[nodiscard]] virtual wire::Message current_message() const = 0;
+
+  /// Delivers object i's ack. Returns true if this ack advanced the writer
+  /// to a new round (re-broadcast current_message()) -- false otherwise.
+  virtual bool on_ack(int object_index, const wire::Message& ack) = 0;
+
+  [[nodiscard]] virtual bool complete() const = 0;
+  [[nodiscard]] virtual int rounds_used() const = 0;
+};
+
+class LbReadSession {
+ public:
+  virtual ~LbReadSession() = default;
+
+  /// The single read request (identical to every object: fast READ).
+  [[nodiscard]] virtual wire::Message request() const = 0;
+
+  virtual void on_reply(int object_index, const wire::Message& reply) = 0;
+
+  /// Must be true once replies from S - t distinct objects were processed
+  /// (that is what makes the READ fast); the orchestrator asserts this.
+  [[nodiscard]] virtual bool decided() const = 0;
+  [[nodiscard]] virtual TsVal result() const = 0;
+};
+
+/// Factory bundle for one implementation candidate.
+class FastReadProtocol {
+ public:
+  virtual ~FastReadProtocol() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<LbObject> make_object(int index) = 0;
+  [[nodiscard]] virtual std::unique_ptr<LbWriteSession> make_write(
+      Value v) = 0;
+  [[nodiscard]] virtual std::unique_ptr<LbReadSession> make_read() = 0;
+};
+
+/// The strawman implementation attacked in benches/tests: S = 2t+2b objects
+/// holding <pw, w> pairs, a two-phase writer (quorum S-t per phase), and a
+/// one-round reader. `aggressive` selects which horn of the proof's dilemma
+/// the reader picks when evidence is thin:
+///   aggressive = true   return the highest reported pair even with <= b
+///                       reports (violates safety in run5: returns a value
+///                       that was never written),
+///   aggressive = false  require b+1 matching reports, else return the
+///                       default (violates safety in run4: misses a write
+///                       that precedes the read).
+/// Proposition 1 says every fast-read rule must fail one way or the other.
+[[nodiscard]] std::unique_ptr<FastReadProtocol> make_strawman(
+    const Resilience& res, bool aggressive);
+
+}  // namespace rr::lowerbound

@@ -1,0 +1,69 @@
+// Executable reproduction of the Proposition 1 lower bound (paper Figure 1).
+//
+// Given any fast-read implementation candidate over S = 2t+2b base objects,
+// the orchestrator constructs the proof's partial runs:
+//
+//   run1   reader's request reaches only block B1 (b objects); B1's state
+//          becomes sigma1; everything else is in transit.
+//   run3   extends run1: a WRITE(v1) completes, skipping block T1 (t
+//          objects); the reader then hears B1 (pre-write reply), B2
+//          (post-write state sigma2) and T1 (initial state sigma0) -- that
+//          is S - t replies, so a fast read must decide: call it vR.
+//   run4   WRITE first. B1 is malicious: it pre-forges sigma1 (so the
+//          writer sees exactly run3) and answers the later read from a
+//          forged sigma0. The reader's view is byte-identical to run3, yet
+//          the read now *succeeds* the write: safety demands vR = v1.
+//   run5   no WRITE at all. B2 is malicious and pre-forges sigma2. The
+//          reader's view is again byte-identical: safety demands vR =
+//          bottom.
+//
+// Since vR is one fixed value, safety fails in run4 or in run5. The
+// orchestrator executes all three reader-visible runs, asserts byte-level
+// indistinguishability (on encoded replies), and reports which run
+// violates safety.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lowerbound/fast_read.hpp"
+
+namespace rr::lowerbound {
+
+struct FigureOneReport {
+  int t{};
+  int b{};
+  int num_objects{};  ///< 2t + 2b
+  std::string protocol;
+
+  bool reader_decided{false};     ///< the read was indeed fast in all runs
+  bool views_identical{false};    ///< byte-identical replies in runs 3/4/5
+  Value written_value{};          ///< v1
+  TsVal returned3{};              ///< vR in run3 (== run4 == run5)
+  TsVal returned4{};
+  TsVal returned5{};
+  bool run4_violation{false};     ///< vR != v1 although wr1 precedes rd1
+  bool run5_violation{false};     ///< vR != bottom although nothing written
+  int write_rounds{0};            ///< rounds the writer used (bound holds
+                                  ///< for any number)
+
+  /// The lower bound manifests: at least one run violates safety.
+  [[nodiscard]] bool safety_violated() const {
+    return run4_violation || run5_violation;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the Figure 1 construction against a fresh protocol instance built by
+/// `factory` for each run (runs must be independent). `res` must satisfy
+/// S = 2t+2b (the bound's hypothesis).
+using ProtocolFactory = std::function<std::unique_ptr<FastReadProtocol>()>;
+
+[[nodiscard]] FigureOneReport run_figure_one(const ProtocolFactory& factory,
+                                             const Resilience& res,
+                                             const Value& v1);
+
+}  // namespace rr::lowerbound

@@ -1,0 +1,54 @@
+// Runtime-agnostic process abstraction.
+//
+// Every protocol participant (writer, reader, base object, Byzantine
+// impostor, server) is a deterministic message automaton: it reacts to
+// delivered messages by updating local state and sending messages through a
+// Context. This mirrors the computation model of Section 2.1 of the paper
+// (steps <p, M>) and lets the exact same automaton run under the
+// discrete-event simulator (sim::World) and the threaded cluster
+// (runtime::Cluster).
+//
+// Automata must not block, sleep, or touch global state: all interaction
+// with the world flows through Context.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "wire/messages.hpp"
+
+namespace rr::net {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// The id of the process currently taking a step.
+  [[nodiscard]] virtual ProcessId self() const = 0;
+
+  /// Current (virtual or wall-clock-derived) time in nanoseconds. Automata
+  /// may use this only for statistics, never for protocol decisions --
+  /// the model is asynchronous.
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// Sends a message over the reliable point-to-point channel self() -> to.
+  virtual void send(ProcessId to, wire::Message msg) = 0;
+
+  /// Per-process deterministic random stream (Byzantine strategies and
+  /// workloads only; honest protocol automata are deterministic).
+  [[nodiscard]] virtual Rng& rng() = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Invoked once before any message is delivered.
+  virtual void on_start(Context& /*ctx*/) {}
+
+  /// One atomic step: consume a delivered message, mutate state, send
+  /// replies.
+  virtual void on_message(Context& ctx, ProcessId from,
+                          const wire::Message& msg) = 0;
+};
+
+}  // namespace rr::net

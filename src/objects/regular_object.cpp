@@ -1,0 +1,90 @@
+#include "objects/regular_object.hpp"
+
+#include "common/assert.hpp"
+
+namespace rr::objects {
+
+RegularObject::RegularObject(const Topology& topo, int object_index,
+                             std::size_t history_limit)
+    : topo_(topo), index_(object_index), history_limit_(history_limit) {
+  RR_ASSERT_MSG(history_limit == 0 || history_limit >= 2,
+                "a write needs two live slots (ts and ts-1)");
+  // Figure 5 line 1: history[0] = <pw0, <pw0, inittsrarray>> -- the initial
+  // tuple w0 every correct object can vouch for.
+  const auto s = static_cast<std::size_t>(topo.num_objects());
+  st_.history[0] =
+      wire::HistEntry{TsVal::bottom(), initial_wtuple(s)};
+  st_.tsr.assign(static_cast<std::size_t>(topo.num_readers()), 0);
+}
+
+void RegularObject::on_message(net::Context& ctx, ProcessId from,
+                               const wire::Message& msg) {
+  if (const auto* pw = std::get_if<wire::PwMsg>(&msg)) {
+    handle_pw(ctx, from, *pw);
+  } else if (const auto* w = std::get_if<wire::WMsg>(&msg)) {
+    handle_w(ctx, from, *w);
+  } else if (const auto* rd = std::get_if<wire::ReadMsg>(&msg)) {
+    handle_read(ctx, from, *rd);
+  }
+}
+
+void RegularObject::handle_pw(net::Context& ctx, ProcessId from,
+                              const wire::PwMsg& m) {
+  if (from != topo_.writer()) return;
+  // Figure 5 lines 4-9 (following the Section 5 prose, which indexes the new
+  // slots by the *incoming* timestamp ts'; the pseudocode's "history[ts]" is
+  // a typo). The PW message of write ts' both opens slot ts' with the fresh
+  // pre-write and completes slot ts'-1 with the previous write's full tuple
+  // (m.w), so objects that missed the W round of ts'-1 still learn it.
+  if (m.ts > st_.ts) {
+    st_.history[m.ts] = wire::HistEntry{m.pw, std::nullopt};
+    if (m.ts >= 1) {
+      st_.history[m.ts - 1] = wire::HistEntry{m.w.tsval, m.w};
+    }
+    st_.ts = m.ts;
+    prune_history();
+    ctx.send(from, wire::PwAckMsg{st_.ts, st_.tsr});
+  }
+}
+
+void RegularObject::handle_w(net::Context& ctx, ProcessId from,
+                             const wire::WMsg& m) {
+  if (from != topo_.writer()) return;
+  // Figure 5 lines 10-14.
+  if (m.ts >= st_.ts) {
+    st_.ts = m.ts;
+    st_.history[m.ts] = wire::HistEntry{m.pw, m.w};
+    prune_history();
+    ctx.send(from, wire::WAckMsg{st_.ts});
+  }
+}
+
+void RegularObject::prune_history() {
+  if (history_limit_ == 0) return;
+  while (st_.history.size() > history_limit_) {
+    st_.history.erase(st_.history.begin());
+  }
+}
+
+void RegularObject::handle_read(net::Context& ctx, ProcessId from,
+                                const wire::ReadMsg& m) {
+  if (topo_.role_of(from) != Role::Reader) return;
+  const auto j = static_cast<std::size_t>(topo_.reader_index(from));
+  if (j >= st_.tsr.size()) return;
+  // Figure 5 lines 15-19, with the Section 5.1 suffix optimization: ship
+  // only history slots >= the reader's cached timestamp (cache_ts = 0 means
+  // the full history).
+  if (m.tsr > st_.tsr[j]) {
+    st_.tsr[j] = m.tsr;
+    wire::HistReadAckMsg ack;
+    ack.round = m.round;
+    ack.tsr = st_.tsr[j];
+    for (auto it = st_.history.lower_bound(m.cache_ts);
+         it != st_.history.end(); ++it) {
+      ack.history.emplace(it->first, it->second);
+    }
+    ctx.send(from, std::move(ack));
+  }
+}
+
+}  // namespace rr::objects

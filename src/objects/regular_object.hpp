@@ -1,0 +1,62 @@
+// Base object automaton of the SWMR *regular* storage (paper Figure 5).
+//
+// Unlike the safe object, the regular object keeps the entire history of
+// values received from the writer, keyed by writer timestamp. Readers
+// receive the history (or, with the Section 5.1 optimization, the suffix
+// from their cached timestamp onwards).
+#pragma once
+
+#include "common/types.hpp"
+#include "net/process.hpp"
+#include "wire/messages.hpp"
+
+namespace rr::objects {
+
+class RegularObject : public net::Process {
+ public:
+  struct State {
+    Ts ts{0};
+    wire::History history{};
+    TsrRow tsr{};
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  /// `history_limit` bounds the number of retained history slots (0 =
+  /// unlimited, the paper's presentation). The paper notes that keeping the
+  /// entire history "might raise issues of storage exhaustion and needs
+  /// careful garbage collection"; this implements the simple sound policy:
+  /// prune oldest-first, always keeping the `history_limit` newest slots.
+  /// Regularity is preserved because (a) the newest slots -- including the
+  /// last completed write every correct quorum holds -- are never pruned,
+  /// and (b) a pruned slot only adds invalid() denials against *old*
+  /// candidates, steering reads towards newer written values, which
+  /// condition (2) always permits. Must be 0 or >= 2 (a write transiently
+  /// occupies two slots: ts and ts-1).
+  RegularObject(const Topology& topo, int object_index,
+                std::size_t history_limit = 0);
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] const State& state() const { return st_; }
+  void set_state(State s) { st_ = std::move(s); }
+  [[nodiscard]] int object_index() const { return index_; }
+
+  /// Number of history slots currently held (storage-exhaustion metric for
+  /// the Section 5.1 discussion).
+  [[nodiscard]] std::size_t history_size() const { return st_.history.size(); }
+
+ private:
+  void handle_pw(net::Context& ctx, ProcessId from, const wire::PwMsg& m);
+  void handle_w(net::Context& ctx, ProcessId from, const wire::WMsg& m);
+  void handle_read(net::Context& ctx, ProcessId from, const wire::ReadMsg& m);
+  void prune_history();
+
+  Topology topo_;
+  int index_;
+  std::size_t history_limit_;
+  State st_;
+};
+
+}  // namespace rr::objects

@@ -1,0 +1,68 @@
+#include "objects/safe_object.hpp"
+
+#include "common/assert.hpp"
+
+namespace rr::objects {
+
+SafeObject::SafeObject(const Topology& topo, int object_index)
+    : topo_(topo), index_(object_index) {
+  st_.w = initial_wtuple(static_cast<std::size_t>(topo.num_objects()));
+  st_.tsr.assign(static_cast<std::size_t>(topo.num_readers()), 0);
+}
+
+void SafeObject::on_message(net::Context& ctx, ProcessId from,
+                            const wire::Message& msg) {
+  if (const auto* pw = std::get_if<wire::PwMsg>(&msg)) {
+    handle_pw(ctx, from, *pw);
+  } else if (const auto* w = std::get_if<wire::WMsg>(&msg)) {
+    handle_w(ctx, from, *w);
+  } else if (const auto* rd = std::get_if<wire::ReadMsg>(&msg)) {
+    handle_read(ctx, from, *rd);
+  }
+  // Anything else is not part of this object's protocol; a correct object
+  // ignores it (robustness against misdirected or malicious traffic).
+}
+
+void SafeObject::handle_pw(net::Context& ctx, ProcessId from,
+                           const wire::PwMsg& m) {
+  if (from != topo_.writer()) return;  // only the writer may write
+  // Figure 3 lines 3-7: adopt strictly newer pre-writes; the ack echoes the
+  // object's reader-timestamp row, which the writer folds into the tuple it
+  // will store in the W round.
+  if (m.ts > st_.ts) {
+    st_.ts = m.ts;
+    st_.pw = m.pw;
+    st_.w = m.w;
+    ctx.send(from, wire::PwAckMsg{st_.ts, st_.tsr});
+  }
+}
+
+void SafeObject::handle_w(net::Context& ctx, ProcessId from,
+                          const wire::WMsg& m) {
+  if (from != topo_.writer()) return;
+  // Figure 3 lines 8-12. Note ">=": the W message of write k must be adopted
+  // by objects whose state already carries k from the PW round.
+  if (m.ts >= st_.ts) {
+    st_.ts = m.ts;
+    st_.pw = m.pw;
+    st_.w = m.w;
+    ctx.send(from, wire::WAckMsg{st_.ts});
+  }
+}
+
+void SafeObject::handle_read(net::Context& ctx, ProcessId from,
+                             const wire::ReadMsg& m) {
+  if (topo_.role_of(from) != Role::Reader) return;
+  const auto j = static_cast<std::size_t>(topo_.reader_index(from));
+  if (j >= st_.tsr.size()) return;
+  // Figure 3 lines 13-17: store the reader's fresh timestamp *before*
+  // replying. This is the mechanism that lets the reader cross-examine
+  // object responses: a tuple claiming that this object reported a higher
+  // timestamp than the reader ever issued convicts somebody of lying.
+  if (m.tsr > st_.tsr[j]) {
+    st_.tsr[j] = m.tsr;
+    ctx.send(from, wire::ReadAckMsg{m.round, st_.tsr[j], st_.pw, st_.w});
+  }
+}
+
+}  // namespace rr::objects

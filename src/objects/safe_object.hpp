@@ -1,0 +1,49 @@
+// Base object automaton of the SWMR *safe* storage (paper Figure 3).
+//
+// The object is an "active disk": it keeps three fields
+//   pw      -- the timestamp-value pair from the writer's pre-write round,
+//   w       -- the tuple <tsval, tsrarray> from the writer's write round,
+//   tsr[j]  -- the latest timestamp stored by reader j (control data),
+// and replies only when polled, never spontaneously (data-centric model,
+// Section 2).
+#pragma once
+
+#include "common/types.hpp"
+#include "net/process.hpp"
+
+namespace rr::objects {
+
+class SafeObject : public net::Process {
+ public:
+  /// Full object state; exposed so the lower-bound orchestrator can
+  /// snapshot/forge states (sigma_0, sigma_1, sigma_2 in the proof) and so
+  /// tests can inspect fields directly.
+  struct State {
+    Ts ts{0};
+    TsVal pw{TsVal::bottom()};
+    WTuple w{};
+    TsrRow tsr{};
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  SafeObject(const Topology& topo, int object_index);
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] const State& state() const { return st_; }
+  void set_state(State s) { st_ = std::move(s); }
+  [[nodiscard]] int object_index() const { return index_; }
+
+ private:
+  void handle_pw(net::Context& ctx, ProcessId from, const wire::PwMsg& m);
+  void handle_w(net::Context& ctx, ProcessId from, const wire::WMsg& m);
+  void handle_read(net::Context& ctx, ProcessId from, const wire::ReadMsg& m);
+
+  Topology topo_;
+  int index_;
+  State st_;
+};
+
+}  // namespace rr::objects

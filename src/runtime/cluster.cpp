@@ -1,0 +1,147 @@
+#include "runtime/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace rr::runtime {
+
+class ClusterContext final : public net::Context {
+ public:
+  ClusterContext(Cluster& cluster, ProcessId self)
+      : cluster_(cluster), self_(self) {}
+
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  [[nodiscard]] Time now() const override { return cluster_.now(); }
+  void send(ProcessId to, wire::Message msg) override {
+    cluster_.route(self_, to, std::move(msg));
+  }
+  [[nodiscard]] Rng& rng() override {
+    return cluster_.slots_[static_cast<std::size_t>(self_)]->rng;
+  }
+
+ private:
+  Cluster& cluster_;
+  ProcessId self_;
+};
+
+Cluster::Cluster(ClusterOptions opts)
+    : opts_(opts), seeder_(opts.seed), epoch_(std::chrono::steady_clock::now()) {}
+
+Cluster::~Cluster() { stop(); }
+
+ProcessId Cluster::add(std::unique_ptr<net::Process> p, bool active) {
+  RR_ASSERT(!started_);
+  RR_ASSERT(p != nullptr);
+  auto slot = std::make_unique<Slot>();
+  slot->proc = std::move(p);
+  slot->active = active;
+  slot->rng = seeder_.fork();
+  slots_.push_back(std::move(slot));
+  return static_cast<ProcessId>(slots_.size() - 1);
+}
+
+void Cluster::start() {
+  RR_ASSERT(!started_);
+  started_ = true;
+  for (ProcessId pid = 0; pid < static_cast<ProcessId>(slots_.size());
+       ++pid) {
+    ClusterContext ctx(*this, pid);
+    slots_[static_cast<std::size_t>(pid)]->proc->on_start(ctx);
+  }
+  for (ProcessId pid = 0; pid < static_cast<ProcessId>(slots_.size());
+       ++pid) {
+    if (slots_[static_cast<std::size_t>(pid)]->active) {
+      threads_.emplace_back([this, pid] { thread_main(pid); });
+    }
+  }
+}
+
+void Cluster::stop() {
+  if (stopping_.exchange(true)) return;
+  for (auto& slot : slots_) {
+    std::lock_guard lock(slot->mu);
+    slot->cv.notify_all();
+  }
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  threads_.clear();
+}
+
+void Cluster::with_context(ProcessId pid,
+                           const std::function<void(net::Context&)>& fn) {
+  RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(slots_.size()));
+  ClusterContext ctx(*this, pid);
+  fn(ctx);
+}
+
+bool Cluster::drive(ProcessId pid, const std::function<bool()>& done,
+                    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    Envelope env{kNoProcess, {}};
+    if (pop_one(pid, std::chrono::milliseconds(1), &env)) {
+      dispatch(pid, std::move(env));
+    }
+  }
+  return true;
+}
+
+net::Process& Cluster::process(ProcessId pid) {
+  RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(slots_.size()));
+  return *slots_[static_cast<std::size_t>(pid)]->proc;
+}
+
+Time Cluster::now() const {
+  return static_cast<Time>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - epoch_)
+                               .count());
+}
+
+void Cluster::route(ProcessId from, ProcessId to, wire::Message msg) {
+  RR_ASSERT(to >= 0 && to < static_cast<ProcessId>(slots_.size()));
+  auto& slot = *slots_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard lock(slot.mu);
+    slot.inbox.push_back(Envelope{from, std::move(msg)});
+  }
+  slot.cv.notify_one();
+}
+
+bool Cluster::pop_one(ProcessId pid, std::chrono::milliseconds wait,
+                      Envelope* out) {
+  auto& slot = *slots_[static_cast<std::size_t>(pid)];
+  std::unique_lock lock(slot.mu);
+  if (!slot.cv.wait_for(lock, wait, [&] {
+        return !slot.inbox.empty() || stopping_.load();
+      })) {
+    return false;
+  }
+  if (slot.inbox.empty()) return false;
+  *out = std::move(slot.inbox.front());
+  slot.inbox.pop_front();
+  return true;
+}
+
+void Cluster::dispatch(ProcessId pid, Envelope env) {
+  if (opts_.max_jitter_us > 0) {
+    auto& slot = *slots_[static_cast<std::size_t>(pid)];
+    const auto us = slot.rng.uniform(0, opts_.max_jitter_us);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  ClusterContext ctx(*this, pid);
+  slots_[static_cast<std::size_t>(pid)]->proc->on_message(ctx, env.from,
+                                                          env.msg);
+}
+
+void Cluster::thread_main(ProcessId pid) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Envelope env{kNoProcess, {}};
+    if (pop_one(pid, std::chrono::milliseconds(50), &env)) {
+      dispatch(pid, std::move(env));
+    }
+  }
+}
+
+}  // namespace rr::runtime

@@ -1,0 +1,101 @@
+// Threaded in-process runtime: the same protocol automata that run under the
+// discrete-event simulator, deployed on real threads with mailbox queues.
+//
+// Processes come in two kinds:
+//   active   -- base objects / servers: each gets its own thread draining
+//               its mailbox,
+//   passive  -- clients: owned by a caller thread, which drives the
+//               automaton via drive() / with_context() (this realizes
+//               blocking operations without the automaton ever blocking).
+//
+// Every automaton is only ever touched by its owning thread, so the
+// protocol code needs no synchronization -- exactly as under the DES.
+// Message transport is a mutex+condvar MPSC queue per process; an optional
+// jitter makes thread interleavings more adversarial in tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/process.hpp"
+
+namespace rr::runtime {
+
+struct ClusterOptions {
+  std::uint64_t seed{1};
+  /// Maximum artificial delivery jitter (microseconds, sampled uniformly;
+  /// 0 disables). Applied by the receiving thread, so senders never block.
+  std::uint32_t max_jitter_us{0};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Registers a process. Active processes get a thread at start().
+  ProcessId add(std::unique_ptr<net::Process> p, bool active);
+
+  void start();
+  void stop();
+
+  /// Runs `fn` as a step of passive process `pid` on the calling thread
+  /// (e.g. to invoke an operation on a client automaton).
+  void with_context(ProcessId pid, const std::function<void(net::Context&)>& fn);
+
+  /// Drains `pid`'s mailbox on the calling thread until `done()` returns
+  /// true. Returns false on timeout.
+  bool drive(ProcessId pid, const std::function<bool()>& done,
+             std::chrono::milliseconds timeout);
+
+  [[nodiscard]] net::Process& process(ProcessId pid);
+  [[nodiscard]] Time now() const;
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ClusterContext;
+
+  struct Envelope {
+    ProcessId from;
+    wire::Message msg;
+  };
+
+  struct Slot {
+    std::unique_ptr<net::Process> proc;
+    bool active{false};
+    Rng rng{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Envelope> inbox;
+  };
+
+  void route(ProcessId from, ProcessId to, wire::Message msg);
+  void thread_main(ProcessId pid);
+  bool pop_one(ProcessId pid, std::chrono::milliseconds wait, Envelope* out);
+  void dispatch(ProcessId pid, Envelope env);
+
+  ClusterOptions opts_;
+  Rng seeder_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> delivered_{0};
+  bool started_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace rr::runtime

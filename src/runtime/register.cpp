@@ -1,0 +1,102 @@
+#include "runtime/register.hpp"
+
+#include "common/assert.hpp"
+#include "core/regular_reader.hpp"
+#include "core/safe_reader.hpp"
+#include "core/writer.hpp"
+#include "objects/regular_object.hpp"
+#include "objects/safe_object.hpp"
+
+namespace rr::runtime {
+
+RobustRegister::RobustRegister(Options opts)
+    : opts_(std::move(opts)),
+      topo_(opts_.res.num_readers, opts_.res.num_objects) {
+  RR_ASSERT(opts_.res.valid());
+  RR_ASSERT_MSG(opts_.res.feasible(),
+                "deployment below the optimal-resilience bound S >= 2t+b+1");
+  RR_ASSERT_MSG(
+      static_cast<int>(opts_.byzantine.size()) <= opts_.res.b,
+      "more Byzantine objects than the resilience budget b allows");
+
+  ClusterOptions copts;
+  copts.seed = opts_.seed;
+  copts.max_jitter_us = opts_.max_jitter_us;
+  cluster_ = std::make_unique<Cluster>(copts);
+
+  // Registration order matches Topology: writer, readers, objects.
+  auto writer = std::make_unique<core::Writer>(opts_.res, topo_);
+  writer_ = writer.get();
+  const ProcessId wpid = cluster_->add(std::move(writer), /*active=*/false);
+  RR_ASSERT(wpid == topo_.writer());
+
+  for (int j = 0; j < opts_.res.num_readers; ++j) {
+    read_mus_.push_back(std::make_unique<std::mutex>());
+    if (opts_.regular) {
+      auto r = std::make_unique<core::RegularReader>(opts_.res, topo_, j,
+                                                     opts_.optimized);
+      regular_readers_.push_back(r.get());
+      cluster_->add(std::move(r), /*active=*/false);
+    } else {
+      auto r = std::make_unique<core::SafeReader>(opts_.res, topo_, j);
+      safe_readers_.push_back(r.get());
+      cluster_->add(std::move(r), /*active=*/false);
+    }
+  }
+
+  const auto flavor =
+      opts_.regular ? adversary::Flavor::Regular : adversary::Flavor::Safe;
+  for (int i = 0; i < opts_.res.num_objects; ++i) {
+    std::unique_ptr<net::Process> obj;
+    const auto byz = opts_.byzantine.find(i);
+    if (byz != opts_.byzantine.end()) {
+      obj = adversary::make_byzantine(byz->second, flavor, topo_, opts_.res,
+                                      i);
+    } else if (opts_.regular) {
+      obj = std::make_unique<objects::RegularObject>(topo_, i);
+    } else {
+      obj = std::make_unique<objects::SafeObject>(topo_, i);
+    }
+    cluster_->add(std::move(obj), /*active=*/true);
+  }
+  cluster_->start();
+}
+
+RobustRegister::~RobustRegister() { cluster_->stop(); }
+
+std::optional<core::WriteResult> RobustRegister::write(Value v) {
+  std::lock_guard lock(write_mu_);
+  std::optional<core::WriteResult> result;
+  cluster_->with_context(topo_.writer(), [&](net::Context& ctx) {
+    writer_->write(ctx, std::move(v),
+                   [&](const core::WriteResult& r) { result = r; });
+  });
+  if (!cluster_->drive(topo_.writer(), [&] { return result.has_value(); },
+                       opts_.timeout)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+std::optional<core::ReadResult> RobustRegister::read(int reader) {
+  RR_ASSERT(reader >= 0 && reader < opts_.res.num_readers);
+  std::lock_guard lock(*read_mus_[static_cast<std::size_t>(reader)]);
+  std::optional<core::ReadResult> result;
+  const ProcessId pid = topo_.reader(reader);
+  cluster_->with_context(pid, [&](net::Context& ctx) {
+    if (!safe_readers_.empty()) {
+      safe_readers_[static_cast<std::size_t>(reader)]->read(
+          ctx, [&](const core::ReadResult& r) { result = r; });
+    } else {
+      regular_readers_[static_cast<std::size_t>(reader)]->read(
+          ctx, [&](const core::ReadResult& r) { result = r; });
+    }
+  });
+  if (!cluster_->drive(pid, [&] { return result.has_value(); },
+                       opts_.timeout)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace rr::runtime

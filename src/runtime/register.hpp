@@ -1,0 +1,80 @@
+// RobustRegister: the library's top-level, thread-friendly entry point.
+//
+// Deploys a Guerraoui-Vukolic storage (safe or regular) over an in-process
+// threaded cluster and exposes blocking WRITE/READ operations:
+//
+//   rr::runtime::RobustRegister::Options opts;
+//   opts.res = rr::Resilience::optimal(/*t=*/2, /*b=*/1, /*readers=*/4);
+//   rr::runtime::RobustRegister reg(opts);
+//   reg.write("hello");                  // single writer, 2 rounds
+//   auto r = reg.read(/*reader=*/0);     // wait-free, 2 rounds
+//
+// Concurrency contract (matching the paper's client model, Section 2.2):
+// at most one in-flight WRITE (call write() from one thread), and at most
+// one in-flight READ per reader index; distinct reader indices may read
+// concurrently from distinct threads. Byzantine base objects can be
+// injected to see the protocol shrug them off.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "common/types.hpp"
+#include "core/client_types.hpp"
+#include "runtime/cluster.hpp"
+
+namespace rr::core {
+class Writer;
+class SafeReader;
+class RegularReader;
+}  // namespace rr::core
+
+namespace rr::runtime {
+
+class RobustRegister {
+ public:
+  struct Options {
+    Resilience res{Resilience::optimal(1, 1, 1)};
+    bool regular{false};    ///< regular semantics (history objects)
+    bool optimized{false};  ///< Section 5.1 suffix optimization
+    std::uint64_t seed{1};
+    std::uint32_t max_jitter_us{0};
+    /// Byzantine base objects: index -> strategy.
+    std::map<int, adversary::StrategyKind> byzantine{};
+    /// Operation timeout (a wait-free operation only stalls if more than t
+    /// base objects are unreachable, i.e. on contract violation).
+    std::chrono::milliseconds timeout{std::chrono::seconds(10)};
+  };
+
+  explicit RobustRegister(Options opts);
+  ~RobustRegister();
+
+  RobustRegister(const RobustRegister&) = delete;
+  RobustRegister& operator=(const RobustRegister&) = delete;
+
+  /// Blocking WRITE. Returns nullopt on timeout.
+  std::optional<core::WriteResult> write(Value v);
+
+  /// Blocking READ by reader `reader`. Returns nullopt on timeout.
+  std::optional<core::ReadResult> read(int reader = 0);
+
+  [[nodiscard]] const Resilience& resilience() const { return opts_.res; }
+  [[nodiscard]] Cluster& cluster() { return *cluster_; }
+
+ private:
+  Options opts_;
+  Topology topo_;
+  std::unique_ptr<Cluster> cluster_;
+  core::Writer* writer_{nullptr};
+  std::vector<core::SafeReader*> safe_readers_;
+  std::vector<core::RegularReader*> regular_readers_;
+  std::mutex write_mu_;
+  std::vector<std::unique_ptr<std::mutex>> read_mus_;
+};
+
+}  // namespace rr::runtime

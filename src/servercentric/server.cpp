@@ -1,0 +1,190 @@
+#include "servercentric/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rr::servercentric {
+
+Server::Server(const Topology& topo, int server_index)
+    : topo_(topo), index_(server_index) {
+  subs_.assign(static_cast<std::size_t>(topo.num_readers()), std::nullopt);
+}
+
+void Server::on_message(net::Context& ctx, ProcessId from,
+                        const wire::Message& msg) {
+  if (const auto* wr = std::get_if<wire::BlWriteMsg>(&msg)) {
+    if (from != topo_.writer()) return;
+    adopt(ctx, wr->ts, wr->val, wr->phase == 2, /*gossip=*/true);
+    ctx.send(from, wire::BlWriteAckMsg{wr->phase, wr->ts});
+  } else if (const auto* g = std::get_if<wire::ScGossipMsg>(&msg)) {
+    if (!topo_.is_object(from)) return;  // only peers gossip
+    // Merge without re-gossiping (one hop suffices: the originating server
+    // already gossips to everyone, and correct servers only gossip
+    // writer-sent data).
+    bool changed = false;
+    if (g->pw.ts > st_.pw.ts) {
+      st_.pw = g->pw;
+      changed = true;
+    }
+    if (g->w.ts > st_.w.ts) {
+      st_.w = g->w;
+      changed = true;
+    }
+    if (changed) {
+      ++epoch_;
+      push_to_subscribers(ctx);
+    }
+  } else if (const auto* rd = std::get_if<wire::ScReadMsg>(&msg)) {
+    if (topo_.role_of(from) != Role::Reader) return;
+    const auto j = static_cast<std::size_t>(topo_.reader_index(from));
+    if (j >= subs_.size()) return;
+    if (rd->seq == 0) {
+      subs_[j].reset();  // courtesy cancel
+      return;
+    }
+    subs_[j] = rd->seq;
+    ++pushes_sent_;
+    ctx.send(from, wire::ScPushMsg{rd->seq, epoch_, st_.pw, st_.w});
+  }
+}
+
+void Server::adopt(net::Context& ctx, Ts ts, const Value& val,
+                   bool write_phase, bool gossip) {
+  bool changed = false;
+  if (ts > st_.pw.ts) {
+    st_.pw = TsVal{ts, val};
+    changed = true;
+  }
+  if (write_phase && ts > st_.w.ts) {
+    st_.w = TsVal{ts, val};
+    changed = true;
+  }
+  if (!changed) return;
+  ++epoch_;
+  if (gossip) {
+    for (int i = 0; i < topo_.num_objects(); ++i) {
+      if (i == index_) continue;
+      ctx.send(topo_.object(i), wire::ScGossipMsg{ts, st_.pw, st_.w});
+    }
+  }
+  push_to_subscribers(ctx);
+}
+
+void Server::push_to_subscribers(net::Context& ctx) {
+  for (std::size_t j = 0; j < subs_.size(); ++j) {
+    if (!subs_[j].has_value()) continue;
+    ++pushes_sent_;
+    ctx.send(topo_.reader(static_cast<int>(j)),
+             wire::ScPushMsg{*subs_[j], epoch_, st_.pw, st_.w});
+  }
+}
+
+Reader::Reader(const Resilience& res, const Topology& topo, int reader_index)
+    : res_(res), topo_(topo), reader_index_(reader_index) {}
+
+void Reader::read(net::Context& ctx, core::ReadCallback cb) {
+  RR_ASSERT_MSG(!busy_, "READ invoked while previous READ in progress");
+  busy_ = true;
+  ++seq_;
+  pushes_ = 0;
+  view_.assign(static_cast<std::size_t>(res_.num_objects), PerServer{});
+  candidates_.clear();
+  candidates_.push_back(TsVal::bottom());
+  cb_ = std::move(cb);
+  invoked_at_ = ctx.now();
+  // The single client->server message of the push model.
+  for (int i = 0; i < res_.num_objects; ++i) {
+    ctx.send(topo_.object(i), wire::ScReadMsg{seq_});
+  }
+}
+
+void Reader::on_message(net::Context& ctx, ProcessId from,
+                        const wire::Message& msg) {
+  const auto* push = std::get_if<wire::ScPushMsg>(&msg);
+  if (push == nullptr || !busy_ || push->seq != seq_) return;
+  if (!topo_.is_object(from)) return;
+  const auto i = static_cast<std::size_t>(topo_.object_index(from));
+  auto& e = view_[i];
+  e.heard = true;
+  e.epoch = std::max(e.epoch, push->epoch);
+  auto add_unique = [](std::vector<TsVal>& xs, const TsVal& x) {
+    if (std::find(xs.begin(), xs.end(), x) == xs.end()) xs.push_back(x);
+  };
+  add_unique(e.pw_seen, push->pw);
+  add_unique(e.w_seen, push->w);
+  const bool known = std::find(candidates_.begin(), candidates_.end(),
+                               push->w) != candidates_.end();
+  if (!known) candidates_.push_back(push->w);
+  ++pushes_;
+  try_decide(ctx);
+}
+
+bool Reader::vouches(const PerServer& e, const TsVal& c) const {
+  for (const auto& v : e.pw_seen) {
+    if (v == c || v.ts > c.ts) return true;
+  }
+  for (const auto& v : e.w_seen) {
+    if (v == c || v.ts > c.ts) return true;
+  }
+  return false;
+}
+
+void Reader::try_decide(net::Context& ctx) {
+  int responders = 0;
+  for (const auto& e : view_) {
+    if (e.heard) ++responders;
+  }
+  if (responders < res_.quorum()) return;
+
+  auto vouch_count = [&](const TsVal& c) {
+    int n = 0;
+    for (const auto& e : view_) {
+      if (e.heard && vouches(e, c)) ++n;
+    }
+    return n;
+  };
+  auto deny_count = [&](const TsVal& c) {
+    int n = 0;
+    for (const auto& e : view_) {
+      if (e.heard && !vouches(e, c)) ++n;
+    }
+    return n;
+  };
+
+  std::vector<TsVal> sorted = candidates_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TsVal& a, const TsVal& b) { return a.ts > b.ts; });
+  const int dead_threshold = res_.t + res_.b + 1;
+  for (const auto& c : sorted) {
+    if (vouch_count(c) < res_.b + 1) continue;
+    bool blocked = false;
+    for (const auto& higher : sorted) {
+      if (higher.ts <= c.ts) break;
+      if (deny_count(higher) < dead_threshold) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    busy_ = false;
+    last_pushes_ = pushes_;
+    // Courtesy cancel so servers stop pushing (not a protocol round).
+    for (int i = 0; i < res_.num_objects; ++i) {
+      ctx.send(topo_.object(i), wire::ScReadMsg{0});
+    }
+    core::ReadResult result;
+    result.tsval = c;
+    result.rounds = 1;  // one client->server message by construction
+    result.invoked_at = invoked_at_;
+    result.completed_at = ctx.now();
+    result.returned_default = c.is_bottom();
+    auto cb = std::move(cb_);
+    cb_ = nullptr;
+    if (cb) cb(result);
+    return;
+  }
+}
+
+}  // namespace rr::servercentric

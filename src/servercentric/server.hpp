@@ -1,0 +1,105 @@
+// Server-centric storage model (paper Section 6).
+//
+// Base objects become first-class *servers*: they keep point-to-point
+// channels to each other (gossip) and may send unsolicited messages to
+// clients (push). A read in this model is a single client message followed
+// by passive collection of pushes -- the "fastest possible operation"
+// pattern the paper describes; the Proposition 1 lower bound migrates to
+// this model unchanged (see Section 6 and tests/test_servercentric.cpp).
+//
+// The implementation here is a safe storage at optimal resilience:
+//   - writes reuse the two-phase pre-write/write pattern (BlWriteMsg),
+//   - servers gossip adopted values to every peer (so slow servers catch
+//     up without writer help),
+//   - servers push their <pw, w> state, stamped with a monotonically
+//     increasing epoch, to every reader with an active subscription, once
+//     on subscription and again on every state change,
+//   - readers decide with the same evidence rule as the polling baseline
+//     (vouch >= b+1 for the top candidate, every higher candidate denied by
+//     >= t+b+1 servers).
+//
+// A completed read sends a courtesy cancel (seq 0) so servers stop pushing;
+// this is bookkeeping, not a protocol round (the decision never depends on
+// it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/client_types.hpp"
+#include "net/process.hpp"
+
+namespace rr::servercentric {
+
+class Server : public net::Process {
+ public:
+  Server(const Topology& topo, int server_index);
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  struct State {
+    TsVal pw{TsVal::bottom()};
+    TsVal w{TsVal::bottom()};
+    friend bool operator==(const State&, const State&) = default;
+  };
+  [[nodiscard]] const State& state() const { return st_; }
+
+  /// Number of pushes this server has sent (metric for the push-model
+  /// traffic experiments).
+  [[nodiscard]] std::uint64_t pushes_sent() const { return pushes_sent_; }
+
+ private:
+  void adopt(net::Context& ctx, Ts ts, const Value& val, bool write_phase,
+             bool gossip);
+  void push_to_subscribers(net::Context& ctx);
+
+  Topology topo_;
+  int index_;
+  State st_;
+  std::uint32_t epoch_{0};
+  std::uint64_t pushes_sent_{0};
+  /// Active read subscription per reader index (seq of the pending read).
+  std::vector<std::optional<std::uint64_t>> subs_;
+};
+
+/// Push-model reader: one request, then passive collection.
+class Reader : public net::Process {
+ public:
+  Reader(const Resilience& res, const Topology& topo, int reader_index);
+
+  void read(net::Context& ctx, core::ReadCallback cb);
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override;
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  /// Pushes consumed by the last completed read.
+  [[nodiscard]] int last_pushes() const { return last_pushes_; }
+
+ private:
+  struct PerServer {
+    bool heard{false};
+    std::uint32_t epoch{0};
+    std::vector<TsVal> pw_seen;
+    std::vector<TsVal> w_seen;
+  };
+
+  [[nodiscard]] bool vouches(const PerServer& e, const TsVal& c) const;
+  void try_decide(net::Context& ctx);
+
+  Resilience res_;
+  Topology topo_;
+  int reader_index_;
+  std::uint64_t seq_{0};
+  bool busy_{false};
+  int pushes_{0};
+  int last_pushes_{0};
+  std::vector<PerServer> view_;
+  std::vector<TsVal> candidates_;
+  core::ReadCallback cb_;
+  Time invoked_at_{0};
+};
+
+}  // namespace rr::servercentric

@@ -1,0 +1,82 @@
+// Message delay models for the discrete-event simulator.
+//
+// The paper's model is fully asynchronous: channel delays are finite but
+// unbounded and chosen by an adversary. The simulator realizes this with a
+// pluggable DelayModel for the "background" asynchrony plus explicit
+// per-channel holds (sim::World::hold) for surgically scheduled runs such as
+// the Figure 1 constructions.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rr::sim {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Delay in virtual nanoseconds for a message from -> to sent at `now`.
+  [[nodiscard]] virtual Time sample(ProcessId from, ProcessId to, Time now,
+                                    Rng& rng) = 0;
+};
+
+/// Constant delay: handy for reasoning about exact round counts.
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Time d) : d_(d) {}
+  Time sample(ProcessId, ProcessId, Time, Rng&) override { return d_; }
+
+ private:
+  Time d_;
+};
+
+/// Uniform delay in [lo, hi]: the default "benign asynchrony" model.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time lo, Time hi) : lo_(lo), hi_(std::max(lo, hi)) {}
+  Time sample(ProcessId, ProcessId, Time, Rng& rng) override {
+    return rng.uniform(lo_, hi_);
+  }
+
+ private:
+  Time lo_;
+  Time hi_;
+};
+
+/// Heavy-tailed delays: mostly fast, occasionally very slow. Stresses the
+/// quorum logic by making stragglers realistic, as in a congested network.
+class HeavyTailDelay final : public DelayModel {
+ public:
+  HeavyTailDelay(Time base, Time tail, double tail_probability)
+      : base_(base), tail_(tail), p_(tail_probability) {}
+  Time sample(ProcessId, ProcessId, Time, Rng& rng) override {
+    Time d = rng.uniform(base_ / 2, base_);
+    if (rng.chance(p_)) d += rng.uniform(0, tail_);
+    return d;
+  }
+
+ private:
+  Time base_;
+  Time tail_;
+  double p_;
+};
+
+/// Deterministically favours low-index objects: replies from high-index
+/// objects always straggle. Used to force specific quorum compositions.
+class BiasedDelay final : public DelayModel {
+ public:
+  BiasedDelay(Time unit, int pivot) : unit_(unit), pivot_(pivot) {}
+  Time sample(ProcessId from, ProcessId to, Time, Rng&) override {
+    const ProcessId key = std::max(from, to);
+    return unit_ + (key >= pivot_ ? unit_ * 64 : 0);
+  }
+
+ private:
+  Time unit_;
+  ProcessId pivot_;
+};
+
+}  // namespace rr::sim

@@ -1,0 +1,209 @@
+#include "sim/world.hpp"
+
+#include "common/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace rr::sim {
+
+/// The Context handed to a process while it takes a step under the DES.
+class WorldContext final : public net::Context {
+ public:
+  WorldContext(World& world, ProcessId self) : world_(world), self_(self) {}
+
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  [[nodiscard]] Time now() const override { return world_.now_; }
+
+  void send(ProcessId to, wire::Message msg) override {
+    world_.do_send(self_, to, std::move(msg));
+  }
+
+  [[nodiscard]] Rng& rng() override {
+    return world_.procs_[static_cast<std::size_t>(self_)].rng;
+  }
+
+ private:
+  World& world_;
+  ProcessId self_;
+};
+
+World::World(Options opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      delay_(std::make_unique<UniformDelay>(1'000, 10'000)) {}
+
+World::~World() = default;
+
+ProcessId World::add_process(std::unique_ptr<net::Process> p) {
+  RR_ASSERT(p != nullptr);
+  const auto pid = static_cast<ProcessId>(procs_.size());
+  procs_.push_back(ProcSlot{std::move(p), rng_.fork(), false});
+  return pid;
+}
+
+void World::replace_process(ProcessId pid, std::unique_ptr<net::Process> p) {
+  RR_ASSERT(pid >= 0 && pid < num_processes());
+  RR_ASSERT(p != nullptr);
+  procs_[static_cast<std::size_t>(pid)].proc = std::move(p);
+}
+
+void World::set_delay_model(std::unique_ptr<DelayModel> m) {
+  RR_ASSERT(m != nullptr);
+  delay_ = std::move(m);
+}
+
+net::Process& World::process(ProcessId pid) {
+  RR_ASSERT(pid >= 0 && pid < num_processes());
+  return *procs_[static_cast<std::size_t>(pid)].proc;
+}
+
+void World::start() {
+  for (ProcessId pid = 0; pid < num_processes(); ++pid) {
+    auto& slot = procs_[static_cast<std::size_t>(pid)];
+    if (slot.crashed) continue;
+    WorldContext ctx(*this, pid);
+    slot.proc->on_start(ctx);
+  }
+}
+
+void World::post(Time at, ProcessId pid,
+                 std::function<void(net::Context&)> fn) {
+  RR_ASSERT(pid >= 0 && pid < num_processes());
+  RR_ASSERT(at >= now_);
+  Event ev;
+  ev.at = at;
+  ev.seq = next_seq_++;
+  ev.is_delivery = false;
+  ev.to = pid;
+  ev.fn = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
+void World::crash(ProcessId pid) {
+  RR_ASSERT(pid >= 0 && pid < num_processes());
+  procs_[static_cast<std::size_t>(pid)].crashed = true;
+}
+
+bool World::crashed(ProcessId pid) const {
+  RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(procs_.size()));
+  return procs_[static_cast<std::size_t>(pid)].crashed;
+}
+
+void World::hold(ProcessId from, ProcessId to) { held_[{from, to}]; }
+
+void World::hold_all(ProcessId pid) {
+  for (ProcessId q = 0; q < num_processes(); ++q) {
+    hold(pid, q);
+    hold(q, pid);
+  }
+}
+
+bool World::held(ProcessId from, ProcessId to) const {
+  return held_.contains({from, to});
+}
+
+void World::release(ProcessId from, ProcessId to) {
+  auto it = held_.find({from, to});
+  if (it == held_.end()) return;
+  auto buffered = std::move(it->second);
+  held_.erase(it);
+  // Re-inject with fresh delays from `now`, preserving send order via the
+  // monotonically increasing sequence numbers.
+  for (auto& msg : buffered) {
+    const Time d = delay_->sample(from, to, now_, rng_);
+    schedule_delivery(from, to, std::move(msg), now_ + d);
+  }
+}
+
+void World::release_all(ProcessId pid) {
+  // Collect keys first: release() mutates held_.
+  std::vector<std::pair<ProcessId, ProcessId>> keys;
+  for (const auto& [key, unused] : held_) {
+    if (key.first == pid || key.second == pid) keys.push_back(key);
+  }
+  for (const auto& [from, to] : keys) release(from, to);
+}
+
+void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
+  RR_ASSERT(to >= 0 && to < num_processes());
+  stats_.messages_sent++;
+  stats_.messages_by_type[msg.index()]++;
+  if (opts_.account_bytes) {
+    const std::size_t n = wire::encoded_size(msg);
+    stats_.bytes_sent += n;
+    stats_.bytes_by_type[msg.index()] += n;
+  }
+  if (auto it = held_.find({from, to}); it != held_.end()) {
+    it->second.push_back(std::move(msg));
+    return;
+  }
+  const Time d = delay_->sample(from, to, now_, rng_);
+  schedule_delivery(from, to, std::move(msg), now_ + d);
+}
+
+void World::schedule_delivery(ProcessId from, ProcessId to, wire::Message msg,
+                              Time at) {
+  Event ev;
+  ev.at = at;
+  ev.seq = next_seq_++;
+  ev.is_delivery = true;
+  ev.from = from;
+  ev.to = to;
+  ev.msg = std::move(msg);
+  queue_.push(std::move(ev));
+}
+
+void World::deliver(const Event& ev) {
+  auto& slot = procs_[static_cast<std::size_t>(ev.to)];
+  if (slot.crashed || crashed(ev.from)) {
+    // Crash-faulty endpoints: the message is lost. (For the paper's
+    // purposes only the recipient matters, but a crashed sender's in-flight
+    // messages disappearing is also legal in a partial run.)
+    stats_.messages_dropped++;
+    return;
+  }
+  stats_.messages_delivered++;
+  WorldContext ctx(*this, ev.to);
+  if (opts_.reserialize) {
+    auto round_tripped = wire::decode(wire::encode(ev.msg));
+    RR_ASSERT_MSG(round_tripped.has_value(), "codec must round-trip");
+    slot.proc->on_message(ctx, ev.from, *round_tripped);
+  } else {
+    slot.proc->on_message(ctx, ev.from, ev.msg);
+  }
+}
+
+bool World::step() {
+  if (queue_.empty()) return false;
+  RR_ASSERT_MSG(executed_ < opts_.max_events,
+                "event budget exhausted: likely livelock in a protocol");
+  Event ev = queue_.top();
+  queue_.pop();
+  executed_++;
+  RR_ASSERT(ev.at >= now_);
+  now_ = ev.at;
+  if (ev.is_delivery) {
+    deliver(ev);
+  } else {
+    auto& slot = procs_[static_cast<std::size_t>(ev.to)];
+    if (!slot.crashed) {
+      WorldContext ctx(*this, ev.to);
+      ev.fn(ctx);
+    }
+  }
+  return true;
+}
+
+std::uint64_t World::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t World::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline && step()) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,160 @@
+// Deterministic discrete-event simulator for asynchronous message passing.
+//
+// The World owns a set of processes (net::Process automata), a virtual
+// clock, and an event queue of pending message deliveries and scheduled
+// closures. Channels are reliable point-to-point links whose delays come
+// from a pluggable DelayModel; on top of that, individual channels can be
+// *held* (messages buffered indefinitely, realizing the proofs'
+// "messages remain in transit") and later *released*, and processes can be
+// crashed at any point.
+//
+// Everything is deterministic given the seed: events are ordered by
+// (virtual time, insertion sequence).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/process.hpp"
+#include "sim/delay.hpp"
+#include "wire/messages.hpp"
+
+namespace rr::sim {
+
+/// Aggregate traffic statistics, broken down by message type index.
+struct NetStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t messages_dropped{0};  ///< sent to crashed processes
+  std::uint64_t bytes_sent{0};
+  std::map<std::size_t, std::uint64_t> messages_by_type;
+  std::map<std::size_t, std::uint64_t> bytes_by_type;
+};
+
+struct WorldOptions {
+  std::uint64_t seed{1};
+  /// Account encoded bytes for every message (needed by the Section 5.1
+  /// experiments; small constant cost).
+  bool account_bytes{true};
+  /// Round-trip every message through the binary codec. Proves automata
+  /// depend only on message contents; on by default in tests.
+  bool reserialize{false};
+  /// Hard cap on executed events (guards against non-terminating bugs).
+  std::uint64_t max_events{50'000'000};
+};
+
+class World {
+ public:
+  using Options = WorldOptions;
+
+  explicit World(Options opts = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Registers a process; ids are assigned densely in registration order so
+  /// they match Topology when registered in writer, readers, objects order.
+  ProcessId add_process(std::unique_ptr<net::Process> p);
+
+  /// Replaces the automaton behind `pid` (used to swap honest objects for
+  /// Byzantine impostors after topology construction).
+  void replace_process(ProcessId pid, std::unique_ptr<net::Process> p);
+
+  void set_delay_model(std::unique_ptr<DelayModel> m);
+
+  /// Calls on_start on every process (in id order) at time 0.
+  void start();
+
+  /// Schedules `fn` to run as a step of process `pid` at virtual time `at`
+  /// (>= now). Used by harnesses to invoke operations.
+  void post(Time at, ProcessId pid, std::function<void(net::Context&)> fn);
+
+  /// Crash: the process takes no further steps; all messages to and from it
+  /// that are not yet delivered are dropped, as are future sends.
+  void crash(ProcessId pid);
+  [[nodiscard]] bool crashed(ProcessId pid) const;
+
+  /// Holds a channel: messages sent from -> to are buffered, not scheduled.
+  void hold(ProcessId from, ProcessId to);
+  /// Holds every channel adjacent to `pid` (both directions, all peers).
+  void hold_all(ProcessId pid);
+  /// Releases a channel; buffered messages are scheduled for delivery with
+  /// fresh delays starting at the current time. FIFO order is preserved.
+  void release(ProcessId from, ProcessId to);
+  void release_all(ProcessId pid);
+  [[nodiscard]] bool held(ProcessId from, ProcessId to) const;
+
+  /// Executes the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain (messages held on held channels do not
+  /// count). Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs until the virtual clock would pass `deadline` (events at exactly
+  /// `deadline` are executed). Returns events executed.
+  std::uint64_t run_until(Time deadline);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  NetStats& mutable_stats() { return stats_; }
+  [[nodiscard]] int num_processes() const {
+    return static_cast<int>(procs_.size());
+  }
+  [[nodiscard]] net::Process& process(ProcessId pid);
+
+ private:
+  friend class WorldContext;
+
+  struct Event {
+    Time at{};
+    std::uint64_t seq{};
+    // Exactly one of the two is active.
+    bool is_delivery{false};
+    ProcessId from{kNoProcess};
+    ProcessId to{kNoProcess};
+    wire::Message msg{};
+    std::function<void(net::Context&)> fn{};
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct ProcSlot {
+    std::unique_ptr<net::Process> proc;
+    Rng rng;
+    bool crashed{false};
+  };
+
+  void do_send(ProcessId from, ProcessId to, wire::Message msg);
+  void schedule_delivery(ProcessId from, ProcessId to, wire::Message msg,
+                         Time at);
+  void deliver(const Event& ev);
+
+  Options opts_;
+  Rng rng_;
+  Time now_{0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+  std::vector<ProcSlot> procs_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::map<std::pair<ProcessId, ProcessId>, std::deque<wire::Message>> held_;
+  std::unique_ptr<DelayModel> delay_;
+  NetStats stats_;
+};
+
+}  // namespace rr::sim

@@ -1,0 +1,436 @@
+#include "wire/codec.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace rr::wire {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+
+  void bytes(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  [[nodiscard]] std::string take() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& in) : in_(in) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > in_.size()) return fail();
+    v = static_cast<std::uint8_t>(in_[pos_++]);
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > in_.size()) return fail();
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in_[pos_++]))
+           << (8 * i);
+    }
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > in_.size()) return fail();
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in_[pos_++]))
+           << (8 * i);
+    }
+    return true;
+  }
+
+  bool bytes(std::string& s) {
+    std::uint32_t n = 0;
+    if (!u32(n)) return false;
+    if (pos_ + n > in_.size()) return fail();
+    s.assign(in_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == in_.size(); }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Containers are length-prefixed; cap element counts so a malicious 4-byte
+// prefix cannot trigger a huge allocation before the truncation check fires.
+constexpr std::uint32_t kMaxElems = 1u << 20;
+
+// ---------------------------------------------------------------------------
+// Composite encoders / decoders
+// ---------------------------------------------------------------------------
+
+void put(ByteWriter& w, const TsVal& v) {
+  w.u64(v.ts);
+  w.bytes(v.val);
+}
+
+bool get(ByteReader& r, TsVal& v) { return r.u64(v.ts) && r.bytes(v.val); }
+
+void put(ByteWriter& w, const TsrRow& row) {
+  w.u32(static_cast<std::uint32_t>(row.size()));
+  for (auto x : row) w.u64(x);
+}
+
+bool get(ByteReader& r, TsrRow& row) {
+  std::uint32_t n = 0;
+  if (!r.u32(n) || n > kMaxElems) return false;
+  row.clear();
+  row.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t x = 0;
+    if (!r.u64(x)) return false;
+    row.push_back(x);
+  }
+  return true;
+}
+
+void put(ByteWriter& w, const TsrArray& arr) {
+  w.u32(static_cast<std::uint32_t>(arr.size()));
+  for (const auto& entry : arr) {
+    w.u8(entry.has_value() ? 1 : 0);
+    if (entry) put(w, *entry);
+  }
+}
+
+bool get(ByteReader& r, TsrArray& arr) {
+  std::uint32_t n = 0;
+  if (!r.u32(n) || n > kMaxElems) return false;
+  arr.clear();
+  arr.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint8_t flag = 0;
+    if (!r.u8(flag) || flag > 1) return false;
+    if (flag) {
+      TsrRow row;
+      if (!get(r, row)) return false;
+      arr.emplace_back(std::move(row));
+    } else {
+      arr.emplace_back(std::nullopt);
+    }
+  }
+  return true;
+}
+
+void put(ByteWriter& w, const WTuple& t) {
+  put(w, t.tsval);
+  put(w, t.tsrarray);
+}
+
+bool get(ByteReader& r, WTuple& t) {
+  return get(r, t.tsval) && get(r, t.tsrarray);
+}
+
+void put(ByteWriter& w, const HistEntry& e) {
+  w.u8(e.pw.has_value() ? 1 : 0);
+  if (e.pw) put(w, *e.pw);
+  w.u8(e.w.has_value() ? 1 : 0);
+  if (e.w) put(w, *e.w);
+}
+
+bool get(ByteReader& r, HistEntry& e) {
+  std::uint8_t flag = 0;
+  if (!r.u8(flag) || flag > 1) return false;
+  if (flag) {
+    TsVal v;
+    if (!get(r, v)) return false;
+    e.pw = std::move(v);
+  } else {
+    e.pw.reset();
+  }
+  if (!r.u8(flag) || flag > 1) return false;
+  if (flag) {
+    WTuple t;
+    if (!get(r, t)) return false;
+    e.w = std::move(t);
+  } else {
+    e.w.reset();
+  }
+  return true;
+}
+
+void put(ByteWriter& w, const History& h) {
+  w.u32(static_cast<std::uint32_t>(h.size()));
+  for (const auto& [ts, entry] : h) {
+    w.u64(ts);
+    put(w, entry);
+  }
+}
+
+bool get(ByteReader& r, History& h) {
+  std::uint32_t n = 0;
+  if (!r.u32(n) || n > kMaxElems) return false;
+  h.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Ts ts = 0;
+    HistEntry entry;
+    if (!r.u64(ts) || !get(r, entry)) return false;
+    h.emplace(ts, std::move(entry));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-message bodies
+// ---------------------------------------------------------------------------
+
+void put_body(ByteWriter& w, const PwMsg& m) {
+  w.u64(m.ts);
+  put(w, m.pw);
+  put(w, m.w);
+}
+bool get_body(ByteReader& r, PwMsg& m) {
+  return r.u64(m.ts) && get(r, m.pw) && get(r, m.w);
+}
+
+void put_body(ByteWriter& w, const PwAckMsg& m) {
+  w.u64(m.ts);
+  put(w, m.tsr);
+}
+bool get_body(ByteReader& r, PwAckMsg& m) {
+  return r.u64(m.ts) && get(r, m.tsr);
+}
+
+void put_body(ByteWriter& w, const WMsg& m) {
+  w.u64(m.ts);
+  put(w, m.pw);
+  put(w, m.w);
+}
+bool get_body(ByteReader& r, WMsg& m) {
+  return r.u64(m.ts) && get(r, m.pw) && get(r, m.w);
+}
+
+void put_body(ByteWriter& w, const WAckMsg& m) { w.u64(m.ts); }
+bool get_body(ByteReader& r, WAckMsg& m) { return r.u64(m.ts); }
+
+void put_body(ByteWriter& w, const ReadMsg& m) {
+  w.u8(m.round);
+  w.u64(m.tsr);
+  w.u64(m.cache_ts);
+}
+bool get_body(ByteReader& r, ReadMsg& m) {
+  return r.u8(m.round) && r.u64(m.tsr) && r.u64(m.cache_ts);
+}
+
+void put_body(ByteWriter& w, const ReadAckMsg& m) {
+  w.u8(m.round);
+  w.u64(m.tsr);
+  put(w, m.pw);
+  put(w, m.w);
+}
+bool get_body(ByteReader& r, ReadAckMsg& m) {
+  return r.u8(m.round) && r.u64(m.tsr) && get(r, m.pw) && get(r, m.w);
+}
+
+void put_body(ByteWriter& w, const HistReadAckMsg& m) {
+  w.u8(m.round);
+  w.u64(m.tsr);
+  put(w, m.history);
+}
+bool get_body(ByteReader& r, HistReadAckMsg& m) {
+  return r.u8(m.round) && r.u64(m.tsr) && get(r, m.history);
+}
+
+void put_body(ByteWriter& w, const AbdStoreMsg& m) {
+  w.u64(m.seq);
+  put(w, m.tsval);
+}
+bool get_body(ByteReader& r, AbdStoreMsg& m) {
+  return r.u64(m.seq) && get(r, m.tsval);
+}
+
+void put_body(ByteWriter& w, const AbdStoreAckMsg& m) { w.u64(m.seq); }
+bool get_body(ByteReader& r, AbdStoreAckMsg& m) { return r.u64(m.seq); }
+
+void put_body(ByteWriter& w, const AbdQueryMsg& m) { w.u64(m.seq); }
+bool get_body(ByteReader& r, AbdQueryMsg& m) { return r.u64(m.seq); }
+
+void put_body(ByteWriter& w, const AbdQueryAckMsg& m) {
+  w.u64(m.seq);
+  put(w, m.tsval);
+}
+bool get_body(ByteReader& r, AbdQueryAckMsg& m) {
+  return r.u64(m.seq) && get(r, m.tsval);
+}
+
+void put_body(ByteWriter& w, const BlWriteMsg& m) {
+  w.u8(m.phase);
+  w.u64(m.ts);
+  w.bytes(m.val);
+}
+bool get_body(ByteReader& r, BlWriteMsg& m) {
+  return r.u8(m.phase) && r.u64(m.ts) && r.bytes(m.val);
+}
+
+void put_body(ByteWriter& w, const BlWriteAckMsg& m) {
+  w.u8(m.phase);
+  w.u64(m.ts);
+}
+bool get_body(ByteReader& r, BlWriteAckMsg& m) {
+  return r.u8(m.phase) && r.u64(m.ts);
+}
+
+void put_body(ByteWriter& w, const FwWriteMsg& m) {
+  w.u64(m.ts);
+  w.bytes(m.val);
+}
+bool get_body(ByteReader& r, FwWriteMsg& m) {
+  return r.u64(m.ts) && r.bytes(m.val);
+}
+
+void put_body(ByteWriter& w, const FwWriteAckMsg& m) { w.u64(m.ts); }
+bool get_body(ByteReader& r, FwWriteAckMsg& m) { return r.u64(m.ts); }
+
+void put_body(ByteWriter& w, const PollMsg& m) {
+  w.u64(m.seq);
+  w.u32(m.round);
+}
+bool get_body(ByteReader& r, PollMsg& m) {
+  return r.u64(m.seq) && r.u32(m.round);
+}
+
+void put_body(ByteWriter& w, const PollAckMsg& m) {
+  w.u64(m.seq);
+  w.u32(m.round);
+  put(w, m.pw);
+  put(w, m.w);
+}
+bool get_body(ByteReader& r, PollAckMsg& m) {
+  return r.u64(m.seq) && r.u32(m.round) && get(r, m.pw) && get(r, m.w);
+}
+
+void put_body(ByteWriter& w, const AuthWriteMsg& m) {
+  w.u64(m.ts);
+  w.bytes(m.val);
+  w.bytes(m.mac);
+}
+bool get_body(ByteReader& r, AuthWriteMsg& m) {
+  return r.u64(m.ts) && r.bytes(m.val) && r.bytes(m.mac);
+}
+
+void put_body(ByteWriter& w, const AuthWriteAckMsg& m) { w.u64(m.ts); }
+bool get_body(ByteReader& r, AuthWriteAckMsg& m) { return r.u64(m.ts); }
+
+void put_body(ByteWriter& w, const AuthReadMsg& m) { w.u64(m.seq); }
+bool get_body(ByteReader& r, AuthReadMsg& m) { return r.u64(m.seq); }
+
+void put_body(ByteWriter& w, const AuthReadAckMsg& m) {
+  w.u64(m.seq);
+  w.u64(m.ts);
+  w.bytes(m.val);
+  w.bytes(m.mac);
+}
+bool get_body(ByteReader& r, AuthReadAckMsg& m) {
+  return r.u64(m.seq) && r.u64(m.ts) && r.bytes(m.val) && r.bytes(m.mac);
+}
+
+void put_body(ByteWriter& w, const ScReadMsg& m) { w.u64(m.seq); }
+bool get_body(ByteReader& r, ScReadMsg& m) { return r.u64(m.seq); }
+
+void put_body(ByteWriter& w, const ScPushMsg& m) {
+  w.u64(m.seq);
+  w.u32(m.epoch);
+  put(w, m.pw);
+  put(w, m.w);
+}
+bool get_body(ByteReader& r, ScPushMsg& m) {
+  return r.u64(m.seq) && r.u32(m.epoch) && get(r, m.pw) && get(r, m.w);
+}
+
+void put_body(ByteWriter& w, const ScGossipMsg& m) {
+  w.u64(m.ts);
+  put(w, m.pw);
+  put(w, m.w);
+}
+bool get_body(ByteReader& r, ScGossipMsg& m) {
+  return r.u64(m.ts) && get(r, m.pw) && get(r, m.w);
+}
+
+// ---------------------------------------------------------------------------
+// Variant dispatch
+// ---------------------------------------------------------------------------
+
+template <std::size_t I = 0>
+std::optional<Message> decode_alternative(std::uint8_t tag, ByteReader& r) {
+  if constexpr (I >= std::variant_size_v<Message>) {
+    (void)tag;
+    (void)r;
+    return std::nullopt;
+  } else {
+    if (tag == I) {
+      std::variant_alternative_t<I, Message> body;
+      if (!get_body(r, body) || !r.exhausted()) return std::nullopt;
+      return Message(std::in_place_index<I>, std::move(body));
+    }
+    return decode_alternative<I + 1>(tag, r);
+  }
+}
+
+}  // namespace
+
+std::string encode(const Message& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.index()));
+  std::visit([&](const auto& body) { put_body(w, body); }, m);
+  return std::move(w).take();
+}
+
+std::optional<Message> decode(const std::string& bytes) {
+  ByteReader r(bytes);
+  std::uint8_t tag = 0;
+  if (!r.u8(tag)) return std::nullopt;
+  return decode_alternative(tag, r);
+}
+
+std::size_t encoded_size(const Message& m) { return encode(m).size(); }
+
+const char* type_name(const Message& m) {
+  static constexpr const char* kNames[] = {
+      "PW",        "PW_ACK",      "W",         "WRITE_ACK", "READ",
+      "READ_ACK",  "HIST_ACK",    "ABD_STORE", "ABD_STORE_ACK",
+      "ABD_QUERY", "ABD_QUERY_ACK",
+      "BL_WRITE",  "BL_WRITE_ACK", "FW_WRITE", "FW_WRITE_ACK",
+      "POLL",      "POLL_ACK",
+      "AUTH_WRITE", "AUTH_WRITE_ACK", "AUTH_READ", "AUTH_READ_ACK",
+      "SC_READ",   "SC_PUSH",     "SC_GOSSIP"};
+  static_assert(std::variant_size_v<Message> ==
+                sizeof(kNames) / sizeof(kNames[0]));
+  return kNames[m.index()];
+}
+
+}  // namespace rr::wire

@@ -1,0 +1,254 @@
+// Wire-level message vocabulary for every protocol in the library.
+//
+// Messages are plain value types carried by std::variant. Both runtimes (the
+// discrete-event simulator and the threaded cluster) move Message values; the
+// binary codec (wire/codec.hpp) provides serialization for byte accounting,
+// snapshotting and fuzz testing.
+//
+// Naming follows the paper where a counterpart exists:
+//   PW / PW_ACK / W / WRITE_ACK   -- Figure 2/3 (writer rounds)
+//   READk / READk_ACK             -- Figure 3/4 (safe storage reader rounds)
+//   READk_ACK with history        -- Figure 5/6 (regular storage)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/types.hpp"
+
+namespace rr::wire {
+
+// ---------------------------------------------------------------------------
+// Guerraoui-Vukolic safe & regular storage (src/core)
+// ---------------------------------------------------------------------------
+
+/// Writer round 1 ("pre-write"): carries the fresh pair in `pw` and the tuple
+/// of the *previous* WRITE in `w` (Figure 2 line 5).
+struct PwMsg {
+  Ts ts{};
+  TsVal pw{};
+  WTuple w{};
+  friend bool operator==(const PwMsg&, const PwMsg&) = default;
+};
+
+/// Object's reply to PW: echoes the object's current reader-timestamp row
+/// (Figure 3 line 6).
+struct PwAckMsg {
+  Ts ts{};
+  TsrRow tsr{};
+  friend bool operator==(const PwAckMsg&, const PwAckMsg&) = default;
+};
+
+/// Writer round 2 ("write"): `w` now carries <pw, currenttsrarray>
+/// (Figure 2 line 8).
+struct WMsg {
+  Ts ts{};
+  TsVal pw{};
+  WTuple w{};
+  friend bool operator==(const WMsg&, const WMsg&) = default;
+};
+
+struct WAckMsg {
+  Ts ts{};
+  friend bool operator==(const WAckMsg&, const WAckMsg&) = default;
+};
+
+/// Reader round k in {1,2}. `tsr` is the reader's fresh local timestamp; the
+/// object stores it into its tsr[j] field before replying (the paper's key
+/// "readers write control data" mechanism).
+///
+/// `cache_ts` implements the Section 5.1 optimization for the regular
+/// storage: objects only ship the history suffix starting at cache_ts. The
+/// unoptimized regular protocol and the safe protocol send cache_ts = 0.
+struct ReadMsg {
+  std::uint8_t round{1};
+  ReaderTs tsr{};
+  Ts cache_ts{0};
+  friend bool operator==(const ReadMsg&, const ReadMsg&) = default;
+};
+
+/// Object's reply in the *safe* storage: current pw and w fields
+/// (Figure 3 line 16).
+struct ReadAckMsg {
+  std::uint8_t round{1};
+  ReaderTs tsr{};
+  TsVal pw{};
+  WTuple w{};
+  friend bool operator==(const ReadAckMsg&, const ReadAckMsg&) = default;
+};
+
+/// One history slot of a regular-storage object: <pw, w> at some writer
+/// timestamp. `w` is nil between the PW and W rounds of that write
+/// (Figure 5 line 6).
+struct HistEntry {
+  std::optional<TsVal> pw{};
+  std::optional<WTuple> w{};
+  friend bool operator==(const HistEntry&, const HistEntry&) = default;
+};
+
+/// Ordered write history (keyed by writer timestamp).
+using History = std::map<Ts, HistEntry>;
+
+/// Object's reply in the *regular* storage: the history (or the suffix from
+/// the reader's cached timestamp onwards, Section 5.1).
+struct HistReadAckMsg {
+  std::uint8_t round{1};
+  ReaderTs tsr{};
+  History history{};
+  friend bool operator==(const HistReadAckMsg&, const HistReadAckMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// ABD crash-only baseline (src/baselines/abd.*)
+// ---------------------------------------------------------------------------
+
+/// Store a timestamp-value pair (used both by WRITE and by the read-phase
+/// write-back). `seq` matches acks to the issuing phase.
+struct AbdStoreMsg {
+  std::uint64_t seq{};
+  TsVal tsval{};
+  friend bool operator==(const AbdStoreMsg&, const AbdStoreMsg&) = default;
+};
+
+struct AbdStoreAckMsg {
+  std::uint64_t seq{};
+  friend bool operator==(const AbdStoreAckMsg&, const AbdStoreAckMsg&) = default;
+};
+
+struct AbdQueryMsg {
+  std::uint64_t seq{};
+  friend bool operator==(const AbdQueryMsg&, const AbdQueryMsg&) = default;
+};
+
+struct AbdQueryAckMsg {
+  std::uint64_t seq{};
+  TsVal tsval{};
+  friend bool operator==(const AbdQueryAckMsg&, const AbdQueryAckMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Byzantine baselines that do not write reader control data
+// (polling reads, fast writes; src/baselines/polling.*, fastwrite.*)
+// ---------------------------------------------------------------------------
+
+/// Two-phase write used by the polling baseline (phase 1 = pre-write, phase 2
+/// = write), after Abraham-Chockler-Keidar-Malkhi (PODC'04).
+struct BlWriteMsg {
+  std::uint8_t phase{1};
+  Ts ts{};
+  Value val{};
+  friend bool operator==(const BlWriteMsg&, const BlWriteMsg&) = default;
+};
+
+struct BlWriteAckMsg {
+  std::uint8_t phase{1};
+  Ts ts{};
+  friend bool operator==(const BlWriteAckMsg&, const BlWriteAckMsg&) = default;
+};
+
+/// One-round write used by the fast-write baseline (requires S >= 2t+2b+1).
+struct FwWriteMsg {
+  Ts ts{};
+  Value val{};
+  friend bool operator==(const FwWriteMsg&, const FwWriteMsg&) = default;
+};
+
+struct FwWriteAckMsg {
+  Ts ts{};
+  friend bool operator==(const FwWriteAckMsg&, const FwWriteAckMsg&) = default;
+};
+
+/// A state-preserving poll: the object replies with its current <pw, w>
+/// pair and does not modify any state. `round` lets the reader attribute
+/// replies to poll rounds.
+struct PollMsg {
+  std::uint64_t seq{};
+  std::uint32_t round{};
+  friend bool operator==(const PollMsg&, const PollMsg&) = default;
+};
+
+struct PollAckMsg {
+  std::uint64_t seq{};
+  std::uint32_t round{};
+  TsVal pw{};
+  TsVal w{};
+  friend bool operator==(const PollAckMsg&, const PollAckMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Authenticated baseline (src/baselines/authenticated.*)
+// ---------------------------------------------------------------------------
+
+/// 32-byte HMAC-SHA256 over (ts, val) under the writer's key; simulates the
+/// digital signatures of Malkhi-Reiter style protocols.
+using Mac = std::string;
+
+struct AuthWriteMsg {
+  Ts ts{};
+  Value val{};
+  Mac mac{};
+  friend bool operator==(const AuthWriteMsg&, const AuthWriteMsg&) = default;
+};
+
+struct AuthWriteAckMsg {
+  Ts ts{};
+  friend bool operator==(const AuthWriteAckMsg&, const AuthWriteAckMsg&) = default;
+};
+
+struct AuthReadMsg {
+  std::uint64_t seq{};
+  friend bool operator==(const AuthReadMsg&, const AuthReadMsg&) = default;
+};
+
+struct AuthReadAckMsg {
+  std::uint64_t seq{};
+  Ts ts{};
+  Value val{};
+  Mac mac{};
+  friend bool operator==(const AuthReadAckMsg&, const AuthReadAckMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Server-centric model (Section 6; src/servercentric)
+// ---------------------------------------------------------------------------
+
+/// A reader's single request in the push model.
+struct ScReadMsg {
+  std::uint64_t seq{};
+  friend bool operator==(const ScReadMsg&, const ScReadMsg&) = default;
+};
+
+/// An unsolicited server push carrying the server's current <pw, w> view;
+/// servers may push repeatedly as their state evolves.
+struct ScPushMsg {
+  std::uint64_t seq{};
+  std::uint32_t epoch{};
+  TsVal pw{};
+  TsVal w{};
+  friend bool operator==(const ScPushMsg&, const ScPushMsg&) = default;
+};
+
+/// Server-to-server gossip of writer data in the push model.
+struct ScGossipMsg {
+  Ts ts{};
+  TsVal pw{};
+  TsVal w{};
+  friend bool operator==(const ScGossipMsg&, const ScGossipMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+
+using Message = std::variant<
+    PwMsg, PwAckMsg, WMsg, WAckMsg, ReadMsg, ReadAckMsg, HistReadAckMsg,
+    AbdStoreMsg, AbdStoreAckMsg, AbdQueryMsg, AbdQueryAckMsg,
+    BlWriteMsg, BlWriteAckMsg, FwWriteMsg, FwWriteAckMsg, PollMsg, PollAckMsg,
+    AuthWriteMsg, AuthWriteAckMsg, AuthReadMsg, AuthReadAckMsg,
+    ScReadMsg, ScPushMsg, ScGossipMsg>;
+
+/// Human-readable tag, for traces and test failure messages.
+[[nodiscard]] const char* type_name(const Message& m);
+
+}  // namespace rr::wire

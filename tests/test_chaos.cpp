@@ -1,0 +1,137 @@
+// Chaos-schedule fuzzing: random hold/release waves (temporary "partitions"
+// of up to the fault budget) on top of Byzantine objects and random delays.
+// Wait-freedom and the storage semantics must survive every schedule --
+// this is the closest executable analogue of quantifying over the model's
+// adversarial schedulers.
+#include <gtest/gtest.h>
+
+#include "harness/chaos.hpp"
+#include "harness/deployment.hpp"
+#include "harness/workload.hpp"
+
+namespace rr {
+namespace {
+
+using harness::ChaosOptions;
+using harness::Deployment;
+using harness::DeploymentOptions;
+using harness::Protocol;
+
+struct ChaosCase {
+  Protocol protocol;
+  int t, b;
+  int byz;
+  adversary::StrategyKind kind;
+};
+
+class ChaosTest : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosTest, SurvivesHoldReleaseWaves) {
+  const auto p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    DeploymentOptions opts;
+    opts.protocol = p.protocol;
+    opts.res = (p.protocol == Protocol::Abd)
+                   ? Resilience{2 * p.t + 1, p.t, 0, 2}
+                   : Resilience::optimal(p.t, p.b, 2);
+    opts.seed = seed * 7 + 3;
+    if (p.byz > 0) {
+      opts.faults = harness::FaultPlan::mixed(p.byz, p.kind, 0);
+    }
+    Deployment d(opts);
+
+    ChaosOptions chaos;
+    chaos.max_held = p.t - p.byz;
+    chaos.seed = seed * 13 + 1;
+    chaos.horizon = 1'500'000;
+    chaos.hold_duration = 25'000;
+    chaos.gap = 15'000;
+    if (chaos.max_held > 0) {
+      harness::inject_chaos(d, chaos);
+    }
+
+    harness::MixedWorkloadOptions w;
+    w.writes = 12;
+    w.reads_per_reader = 12;
+    w.write_gap = 4'000;
+    w.read_gap = 3'000;
+    harness::mixed_workload(d, w);
+    d.run();
+
+    for (const auto& op : d.log().snapshot()) {
+      ASSERT_TRUE(op.complete)
+          << "wait-freedom under chaos, seed " << seed;
+    }
+    const auto report = d.check();
+    ASSERT_TRUE(report.ok()) << "seed " << seed << "\n" << report.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ChaosTest,
+    ::testing::Values(
+        ChaosCase{Protocol::Safe, 2, 1, 0, adversary::StrategyKind::Silent},
+        ChaosCase{Protocol::Safe, 2, 1, 1, adversary::StrategyKind::Forger},
+        ChaosCase{Protocol::Safe, 3, 2, 2, adversary::StrategyKind::Collude},
+        ChaosCase{Protocol::Safe, 3, 3, 2, adversary::StrategyKind::Random},
+        ChaosCase{Protocol::Regular, 2, 1, 1,
+                  adversary::StrategyKind::Forger},
+        ChaosCase{Protocol::Regular, 3, 2, 2,
+                  adversary::StrategyKind::Equivocator},
+        ChaosCase{Protocol::RegularOptimized, 3, 2, 1,
+                  adversary::StrategyKind::Stagger},
+        ChaosCase{Protocol::Abd, 3, 0, 0, adversary::StrategyKind::Silent},
+        ChaosCase{Protocol::Polling, 2, 2, 1,
+                  adversary::StrategyKind::Forger},
+        ChaosCase{Protocol::Auth, 2, 2, 1,
+                  adversary::StrategyKind::Amnesiac}),
+    [](const auto& info) {
+      std::string name = std::string(harness::to_string(info.param.protocol)) +
+                         "_t" + std::to_string(info.param.t) + "b" +
+                         std::to_string(info.param.b) + "_byz" +
+                         std::to_string(info.param.byz);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ChaosTest, HeldBeyondBudgetIsRejected) {
+  DeploymentOptions opts;
+  opts.protocol = Protocol::Safe;
+  opts.res = Resilience::optimal(2, 1, 1);
+  opts.faults = harness::FaultPlan::crash_only(2);  // full budget used
+  Deployment d(opts);
+  ChaosOptions chaos;
+  chaos.max_held = 1;  // 2 crashed + 1 held > t = 2
+  EXPECT_DEATH(harness::inject_chaos(d, chaos), "budget");
+}
+
+TEST(ChaosTest, OperationsIssuedDuringHoldCompleteAfterRelease) {
+  DeploymentOptions opts;
+  opts.protocol = Protocol::Safe;
+  opts.res = Resilience::optimal(1, 1, 1);  // S = 4
+  opts.seed = 5;
+  opts.delay = harness::DelayKind::Fixed;
+  opts.delay_lo = 1'000;
+  Deployment d(opts);
+  d.logged_write(0, "v1");
+  d.run();
+  // Hold TWO objects (> t!) -- the read cannot finish while they are held,
+  // because only 2 of 4 objects are reachable (quorum is 3). It must
+  // complete once one is released.
+  d.world().hold_all(d.object_pid(0));
+  d.world().hold_all(d.object_pid(1));
+  bool done = false;
+  d.logged_read(d.world().now() + 1'000, 0,
+                [&](const core::ReadResult&) { done = true; });
+  d.world().run();
+  EXPECT_FALSE(done) << "quorum unreachable while 2 of 4 objects held";
+  d.world().release_all(d.object_pid(0));
+  d.world().run();
+  EXPECT_TRUE(done) << "read resumes when the quorum becomes reachable";
+  EXPECT_TRUE(d.check().ok()) << d.check().summary();
+}
+
+}  // namespace
+}  // namespace rr

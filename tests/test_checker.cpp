@@ -1,0 +1,238 @@
+// Consistency-checker tests on hand-crafted histories: each checker must
+// accept the legal histories of its semantics and flag the canonical
+// violations (the checkers are the oracle for every other test, so they get
+// adversarial testing of their own).
+#include <gtest/gtest.h>
+
+#include "checker/history.hpp"
+
+namespace rr::checker {
+namespace {
+
+OpRecord write_op(Ts ts, const Value& v, Time inv, Time resp) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::Write;
+  op.client = -1;
+  op.invoked_at = inv;
+  op.responded_at = resp;
+  op.complete = true;
+  op.ts = ts;
+  op.value = v;
+  return op;
+}
+
+OpRecord incomplete_write(const Value& v, Time inv) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::Write;
+  op.client = -1;
+  op.invoked_at = inv;
+  op.complete = false;
+  op.value = v;
+  return op;
+}
+
+OpRecord read_op(int client, Ts ts, const Value& v, Time inv, Time resp) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::Read;
+  op.client = client;
+  op.invoked_at = inv;
+  op.responded_at = resp;
+  op.complete = true;
+  op.ts = ts;
+  op.value = v;
+  return op;
+}
+
+TEST(SafetyChecker, AcceptsSequentialHistory) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      read_op(0, 1, "v1", 20, 30),
+      write_op(2, "v2", 40, 50),
+      read_op(0, 2, "v2", 60, 70),
+  };
+  EXPECT_TRUE(check_safety(ops).ok());
+}
+
+TEST(SafetyChecker, AcceptsInitialValueBeforeAnyWrite) {
+  const std::vector<OpRecord> ops = {
+      read_op(0, 0, "", 0, 5),
+      write_op(1, "v1", 10, 20),
+  };
+  EXPECT_TRUE(check_safety(ops).ok());
+}
+
+TEST(SafetyChecker, FlagsStaleRead) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      write_op(2, "v2", 20, 30),
+      read_op(0, 1, "v1", 40, 50),  // must return v2
+  };
+  const auto report = check_safety(ops);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("safety"), std::string::npos);
+}
+
+TEST(SafetyChecker, FlagsNeverWrittenValue) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      read_op(0, 1, "FORGED", 20, 30),
+  };
+  EXPECT_FALSE(check_safety(ops).ok());
+}
+
+TEST(SafetyChecker, IgnoresReadsConcurrentWithWrites) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 100),
+      read_op(0, 99, "anything", 10, 20),  // concurrent: unconstrained
+  };
+  EXPECT_TRUE(check_safety(ops).ok());
+}
+
+TEST(SafetyChecker, IncompleteWriteMakesLaterReadsConcurrent) {
+  // A crashed writer's operation never responds; reads invoked after it are
+  // concurrent with it forever, so safety does not constrain them.
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      incomplete_write("v2", 20),
+      read_op(0, 1, "v1", 100, 110),   // still fine
+      read_op(0, 2, "v2", 200, 210),   // also fine (concurrent)
+  };
+  EXPECT_TRUE(check_safety(ops).ok());
+}
+
+TEST(RegularityChecker, AcceptsEitherOfConcurrentValues) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      write_op(2, "v2", 20, 100),
+      read_op(0, 1, "v1", 30, 40),  // concurrent with wr2: v1 allowed
+      read_op(1, 2, "v2", 30, 40),  // ... and v2 allowed
+  };
+  EXPECT_TRUE(check_regularity(ops).ok());
+}
+
+TEST(RegularityChecker, FlagsValueOlderThanPrecedingWrite) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      write_op(2, "v2", 20, 30),
+      read_op(0, 1, "v1", 40, 50),
+  };
+  const auto report = check_regularity(ops);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("regularity(2)"), std::string::npos);
+}
+
+TEST(RegularityChecker, FlagsUnwrittenValue) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      read_op(0, 7, "v7", 20, 30),  // ts 7 was never even invoked
+  };
+  const auto report = check_regularity(ops);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("regularity(1)"), std::string::npos);
+}
+
+TEST(RegularityChecker, FlagsValueFromTheFuture) {
+  // Read returns val_2 although WRITE(v2) is invoked only after the read
+  // responded (condition 3).
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      read_op(0, 2, "v2", 20, 30),
+      write_op(2, "v2", 40, 50),
+  };
+  const auto report = check_regularity(ops);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.find("regularity(3)") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << report.summary();
+}
+
+TEST(RegularityChecker, AcceptsValueOfIncompleteConcurrentWrite) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      incomplete_write("v2", 20),
+      read_op(0, 2, "v2", 30, 40),  // concurrent with the incomplete wr2
+  };
+  EXPECT_TRUE(check_regularity(ops).ok());
+}
+
+TEST(AtomicityChecker, FlagsNewOldInversion) {
+  // Both reads are legal under regularity (concurrent with wr2), but the
+  // second read is ordered after the first and goes backwards.
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      write_op(2, "v2", 20, 200),
+      read_op(0, 2, "v2", 30, 40),
+      read_op(0, 1, "v1", 50, 60),
+  };
+  EXPECT_TRUE(check_regularity(ops).ok());
+  const auto report = check_atomicity(ops);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.find("new-old inversion") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AtomicityChecker, AcceptsMonotoneReads) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      write_op(2, "v2", 20, 200),
+      read_op(0, 1, "v1", 30, 40),
+      read_op(0, 2, "v2", 50, 60),
+      read_op(1, 2, "v2", 70, 80),
+  };
+  EXPECT_TRUE(check_atomicity(ops).ok());
+}
+
+TEST(WellFormedChecker, FlagsNonDenseTimestamps) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 10),
+      write_op(3, "v3", 20, 30),  // skipped 2
+  };
+  EXPECT_FALSE(check_well_formed(ops).ok());
+}
+
+TEST(WellFormedChecker, FlagsOverlappingClientOps) {
+  const std::vector<OpRecord> ops = {
+      read_op(0, 0, "", 0, 50),
+      read_op(0, 0, "", 20, 70),  // same reader overlaps itself
+  };
+  EXPECT_FALSE(check_well_formed(ops).ok());
+}
+
+TEST(WellFormedChecker, AcceptsInterleavedDistinctClients) {
+  const std::vector<OpRecord> ops = {
+      write_op(1, "v1", 0, 50),
+      read_op(0, 0, "", 10, 20),
+      read_op(1, 0, "", 15, 25),
+  };
+  EXPECT_TRUE(check_well_formed(ops).ok());
+}
+
+TEST(HistoryLogTest, RecordsInvocationAndResponse) {
+  HistoryLog log;
+  const auto w = log.record_invocation(OpRecord::Kind::Write, -1, 5, "vv");
+  const auto r = log.record_invocation(OpRecord::Kind::Read, 0, 6);
+  log.record_write_response(w, 15, 1, "vv");
+  log.record_read_response(r, 16, TsVal{1, "vv"});
+  const auto ops = log.snapshot();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(ops[0].complete);
+  EXPECT_EQ(ops[0].ts, 1u);
+  EXPECT_EQ(ops[1].value, "vv");
+}
+
+TEST(HistoryLogTest, IncompleteOpsStayIncomplete) {
+  HistoryLog log;
+  log.record_invocation(OpRecord::Kind::Write, -1, 5, "lost");
+  const auto ops = log.snapshot();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_FALSE(ops[0].complete);
+  EXPECT_EQ(ops[0].value, "lost");
+}
+
+}  // namespace
+}  // namespace rr::checker

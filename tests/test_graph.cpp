@@ -1,0 +1,122 @@
+// Exact maximum-independent-set solver, validated against brute force on
+// random graphs -- liveness of the readers' round-1 quorum condition
+// depends on its exactness.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/graph.hpp"
+#include "common/rng.hpp"
+
+namespace rr {
+namespace {
+
+int brute_force_mis(const std::vector<std::uint64_t>& adj,
+                    std::uint64_t vertices) {
+  const int n = static_cast<int>(adj.size());
+  int best = 0;
+  for (std::uint64_t subset = 0; subset < (1ULL << n); ++subset) {
+    if ((subset & vertices) != subset) continue;
+    bool independent = true;
+    for (int v = 0; v < n && independent; ++v) {
+      if (!(subset & (1ULL << v))) continue;
+      if (adj[static_cast<std::size_t>(v)] & subset & ~(1ULL << v)) {
+        independent = false;
+      }
+    }
+    if (independent) best = std::max(best, std::popcount(subset));
+  }
+  return best;
+}
+
+TEST(MisTest, EmptyGraphIsAllVertices) {
+  std::vector<std::uint64_t> adj(8, 0);
+  EXPECT_EQ(max_independent_set_size(adj, 0xff), 8);
+  EXPECT_TRUE(has_independent_set(adj, 0xff, 8));
+  EXPECT_FALSE(has_independent_set(adj, 0xff, 9));
+}
+
+TEST(MisTest, CompleteGraphIsOne) {
+  const int n = 6;
+  std::vector<std::uint64_t> adj(n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      if (i != k) adj[static_cast<std::size_t>(i)] |= 1ULL << k;
+    }
+  }
+  EXPECT_EQ(max_independent_set_size(adj, (1ULL << n) - 1), 1);
+}
+
+TEST(MisTest, PathGraph) {
+  // Path 0-1-2-3-4: MIS = {0,2,4}, size 3.
+  std::vector<std::uint64_t> adj(5, 0);
+  for (int i = 0; i + 1 < 5; ++i) {
+    adj[static_cast<std::size_t>(i)] |= 1ULL << (i + 1);
+    adj[static_cast<std::size_t>(i + 1)] |= 1ULL << i;
+  }
+  EXPECT_EQ(max_independent_set_size(adj, 0x1f), 3);
+}
+
+TEST(MisTest, RestrictedVertexSet) {
+  // Complete graph on {0,1,2}, but only {1,2} considered, plus isolated 3.
+  std::vector<std::uint64_t> adj(4, 0);
+  adj[0] = 0b0110;
+  adj[1] = 0b0101;
+  adj[2] = 0b0011;
+  EXPECT_EQ(max_independent_set_size(adj, 0b1110), 2);  // {1 or 2} + {3}
+}
+
+TEST(MisTest, SelfLoopsIgnored) {
+  std::vector<std::uint64_t> adj(3, 0);
+  adj[0] = 0b001;  // self loop on 0
+  EXPECT_EQ(max_independent_set_size(adj, 0b111), 3);
+}
+
+TEST(MisTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int n = 3 + static_cast<int>(rng.uniform(0, 11));  // up to 14
+    std::vector<std::uint64_t> adj(static_cast<std::size_t>(n), 0);
+    const double p = rng.uniform01() * 0.6;
+    for (int i = 0; i < n; ++i) {
+      for (int k = i + 1; k < n; ++k) {
+        if (rng.chance(p)) {
+          adj[static_cast<std::size_t>(i)] |= 1ULL << k;
+          adj[static_cast<std::size_t>(k)] |= 1ULL << i;
+        }
+      }
+    }
+    const std::uint64_t vertices = (1ULL << n) - 1;
+    const int expected = brute_force_mis(adj, vertices);
+    EXPECT_EQ(max_independent_set_size(adj, vertices), expected)
+        << "iter " << iter << " n " << n;
+    EXPECT_TRUE(has_independent_set(adj, vertices, expected));
+    EXPECT_FALSE(has_independent_set(adj, vertices, expected + 1));
+  }
+}
+
+TEST(MisTest, ConflictShapedGraphs) {
+  // The shape arising in the protocol: a few "accuser" vertices adjacent to
+  // many honest vertices, honest vertices pairwise non-adjacent. MIS must
+  // recover all honest vertices.
+  Rng rng(5);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int honest = 5 + static_cast<int>(rng.uniform(0, 10));
+    const int byz = 1 + static_cast<int>(rng.uniform(0, 3));
+    const int n = honest + byz;
+    std::vector<std::uint64_t> adj(static_cast<std::size_t>(n), 0);
+    for (int a = honest; a < n; ++a) {
+      for (int h = 0; h < honest; ++h) {
+        if (rng.chance(0.7)) {
+          adj[static_cast<std::size_t>(a)] |= 1ULL << h;
+          adj[static_cast<std::size_t>(h)] |= 1ULL << a;
+        }
+      }
+    }
+    const std::uint64_t vertices = (1ULL << n) - 1;
+    EXPECT_GE(max_independent_set_size(adj, vertices), honest);
+  }
+}
+
+}  // namespace
+}  // namespace rr

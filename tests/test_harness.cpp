@@ -1,0 +1,175 @@
+// Harness infrastructure: deployments, workloads, stats accumulation and
+// table rendering -- the glue every experiment trusts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/deployment.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+namespace rr::harness {
+namespace {
+
+TEST(DeploymentTest, TopologyMatchesRegistrationOrder) {
+  DeploymentOptions opts;
+  opts.res = Resilience::optimal(1, 1, 2);
+  Deployment d(opts);
+  EXPECT_EQ(d.writer_pid(), 0);
+  EXPECT_EQ(d.reader_pid(0), 1);
+  EXPECT_EQ(d.reader_pid(1), 2);
+  EXPECT_EQ(d.object_pid(0), 3);
+  EXPECT_EQ(d.world().num_processes(), 1 + 2 + 4);
+}
+
+TEST(DeploymentTest, RejectsOverBudgetFaultPlans) {
+  DeploymentOptions opts;
+  opts.res = Resilience::optimal(1, 1, 1);
+  opts.faults = FaultPlan::crash_only(2);  // t = 1
+  EXPECT_DEATH(Deployment{opts}, "budget");
+}
+
+TEST(DeploymentTest, RejectsTooManyByzantine) {
+  DeploymentOptions opts;
+  opts.res = Resilience::optimal(2, 1, 1);
+  opts.faults = FaultPlan::mixed(2, adversary::StrategyKind::Forger, 0);
+  EXPECT_DEATH(Deployment{opts}, "Byzantine");
+}
+
+TEST(DeploymentTest, PromisedSemanticsPerProtocol) {
+  EXPECT_EQ(promised_semantics(Protocol::Safe), Semantics::Safe);
+  EXPECT_EQ(promised_semantics(Protocol::Polling), Semantics::Safe);
+  EXPECT_EQ(promised_semantics(Protocol::FastWrite), Semantics::Safe);
+  EXPECT_EQ(promised_semantics(Protocol::Regular), Semantics::Regular);
+  EXPECT_EQ(promised_semantics(Protocol::RegularOptimized),
+            Semantics::Regular);
+  EXPECT_EQ(promised_semantics(Protocol::Auth), Semantics::Regular);
+  EXPECT_EQ(promised_semantics(Protocol::Abd), Semantics::Atomic);
+}
+
+TEST(DeploymentTest, LoggedOpsRecordAccurateTimes) {
+  DeploymentOptions opts;
+  opts.res = Resilience::optimal(1, 1, 1);
+  opts.delay = DelayKind::Fixed;
+  opts.delay_lo = 1'000;
+  Deployment d(opts);
+  d.logged_write(5'000, "x");
+  d.run();
+  const auto ops = d.log().snapshot();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].invoked_at, 5'000u);
+  // 2 rounds x 2 x 1000ns fixed delay = 4000ns.
+  EXPECT_EQ(ops[0].responded_at, 9'000u);
+}
+
+TEST(WorkloadTest, WriteStreamChainsSequentially) {
+  DeploymentOptions opts;
+  opts.res = Resilience::optimal(1, 1, 1);
+  Deployment d(opts);
+  OpStats stats;
+  bool done = false;
+  write_stream(d, 0, 1'000, 7, &stats, [&] { done = true; });
+  d.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(stats.count(), 7u);
+  // Writes must be strictly sequential.
+  const auto ops = d.log().snapshot();
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_GE(ops[i].invoked_at, ops[i - 1].responded_at);
+  }
+}
+
+TEST(WorkloadTest, ValuesFollowNamingScheme) {
+  DeploymentOptions opts;
+  opts.res = Resilience::optimal(1, 1, 1);
+  Deployment d(opts);
+  write_stream(d, 0, 100, 3);
+  d.run();
+  const auto ops = d.log().snapshot();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].value, "v1");
+  EXPECT_EQ(ops[2].value, "v3");
+}
+
+TEST(WorkloadTest, SequentialThenReadsHasNoOverlap) {
+  DeploymentOptions opts;
+  opts.res = Resilience::optimal(1, 1, 2);
+  Deployment d(opts);
+  sequential_then_reads(d, 4, 3);
+  d.run();
+  Time last_write_response = 0;
+  Time first_read_invocation = ~Time{0};
+  for (const auto& op : d.log().snapshot()) {
+    if (op.kind == checker::OpRecord::Kind::Write) {
+      last_write_response = std::max(last_write_response, op.responded_at);
+    } else {
+      first_read_invocation = std::min(first_read_invocation, op.invoked_at);
+    }
+  }
+  EXPECT_LT(last_write_response, first_read_invocation);
+}
+
+TEST(OpStatsTest, PercentilesAndRounds) {
+  OpStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.add(static_cast<Time>(i * 10), 2 + (i % 2));
+  }
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_EQ(stats.latency_min(), 10u);
+  EXPECT_EQ(stats.latency_max(), 1000u);
+  EXPECT_NEAR(static_cast<double>(stats.latency_p50()), 500.0, 20.0);
+  EXPECT_GE(stats.latency_p99(), 980u);
+  EXPECT_EQ(stats.rounds_min(), 2);
+  EXPECT_EQ(stats.rounds_max(), 3);
+  EXPECT_NEAR(stats.rounds_mean(), 2.5, 0.01);
+  EXPECT_NEAR(stats.latency_mean(), 505.0, 1.0);
+}
+
+TEST(OpStatsTest, EmptyStatsAreZero) {
+  OpStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.latency_p50(), 0u);
+  EXPECT_EQ(stats.rounds_max(), 0);
+  EXPECT_EQ(stats.latency_mean(), 0.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row("x", 1);
+  t.add_row("longer-name", 123.456);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("123.46"), std::string::npos);  // %.2f formatting
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, MixedCellTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.add_row(std::string("s"), 42, 3.14159, "literal");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(FaultPlanTest, Builders) {
+  const auto crash = FaultPlan::crash_only(3);
+  EXPECT_EQ(crash.crashed.size(), 3u);
+  EXPECT_EQ(crash.total_faulty(), 3);
+  const auto mixed = FaultPlan::mixed(2, adversary::StrategyKind::Forger, 1);
+  EXPECT_EQ(mixed.byzantine.size(), 2u);
+  EXPECT_EQ(mixed.crashed.size(), 1u);
+  EXPECT_EQ(mixed.total_faulty(), 3);
+  // Byzantine indices come first, then crashes.
+  EXPECT_TRUE(mixed.byzantine.contains(0));
+  EXPECT_TRUE(mixed.byzantine.contains(1));
+  EXPECT_EQ(mixed.crashed[0], 2);
+}
+
+}  // namespace
+}  // namespace rr::harness

@@ -1,0 +1,128 @@
+// History garbage collection for regular objects (the extension the paper's
+// Section 5 calls for: full histories "might raise issues of storage
+// exhaustion and need careful garbage collection").
+//
+// Policy under test: keep the newest `history_limit` slots. Must bound
+// memory, preserve regularity and wait-freedom (reads steer to newer values
+// when old slots are denied), and compose with the Section 5.1 cached
+// suffixes.
+#include <gtest/gtest.h>
+
+#include "harness/deployment.hpp"
+#include "harness/workload.hpp"
+#include "objects/regular_object.hpp"
+
+namespace rr {
+namespace {
+
+using harness::Deployment;
+using harness::DeploymentOptions;
+using harness::Protocol;
+
+DeploymentOptions gc_opts(int t, int b, std::size_t limit, std::uint64_t seed,
+                          bool optimized = false) {
+  DeploymentOptions opts;
+  opts.protocol = optimized ? Protocol::RegularOptimized : Protocol::Regular;
+  opts.res = Resilience::optimal(t, b, 2);
+  opts.seed = seed;
+  opts.history_limit = limit;
+  return opts;
+}
+
+TEST(HistoryGc, MemoryIsBounded) {
+  Deployment d(gc_opts(1, 1, 4, 1));
+  harness::write_stream(d, 0, 1'000, 50);
+  d.run();
+  for (int i = 0; i < d.res().num_objects; ++i) {
+    auto& obj = dynamic_cast<objects::RegularObject&>(d.object_process(i));
+    EXPECT_LE(obj.history_size(), 4u) << "object " << i;
+  }
+}
+
+TEST(HistoryGc, NewestSlotsSurvive) {
+  Deployment d(gc_opts(1, 1, 3, 2));
+  harness::write_stream(d, 0, 1'000, 30);
+  d.run();
+  auto& obj = dynamic_cast<objects::RegularObject&>(d.object_process(0));
+  EXPECT_TRUE(obj.state().history.contains(30));
+  EXPECT_TRUE(obj.state().history.contains(29));
+  EXPECT_FALSE(obj.state().history.contains(1));
+}
+
+TEST(HistoryGc, ReadsRemainCorrectAfterPruning) {
+  Deployment d(gc_opts(2, 2, 4, 3));
+  harness::sequential_then_reads(d, 30, 8);
+  d.run();
+  const auto report = d.check();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // Every read must have returned the latest value.
+  for (const auto& op : d.log().snapshot()) {
+    if (op.kind == checker::OpRecord::Kind::Read) {
+      EXPECT_EQ(op.ts, 30u);
+    }
+  }
+}
+
+class HistoryGcSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(HistoryGcSweep, RegularityUnderConcurrencyAndFaults) {
+  const auto [limit, optimized] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto opts = gc_opts(2, 2, limit, seed * 37, optimized);
+    opts.faults =
+        harness::FaultPlan::mixed(2, adversary::StrategyKind::Random, 0);
+    Deployment d(opts);
+    harness::MixedWorkloadOptions w;
+    w.writes = 20;
+    w.reads_per_reader = 15;
+    w.write_gap = 2'000;
+    w.read_gap = 1'500;
+    harness::mixed_workload(d, w);
+    d.run();
+    for (const auto& op : d.log().snapshot()) {
+      ASSERT_TRUE(op.complete) << "limit " << limit << " seed " << seed;
+    }
+    const auto report = d.check();
+    EXPECT_TRUE(report.ok())
+        << "limit " << limit << " seed " << seed << "\n" << report.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Limits, HistoryGcSweep,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}, std::size_t{0}),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      const auto limit = std::get<0>(info.param);
+      return (limit == 0 ? std::string("unlimited")
+                         : "limit" + std::to_string(limit)) +
+             (std::get<1>(info.param) ? "_opt" : "_full");
+    });
+
+TEST(HistoryGc, StaleCacheReaderStillTerminates) {
+  // A reader whose cache points below the pruned horizon: objects ship only
+  // the surviving suffix; the read must still terminate and return a value
+  // no older than the cache (regularity of the optimized variant).
+  Deployment d(gc_opts(1, 1, 2, 7, /*optimized=*/true));
+  // Prime the cache at ts=1.
+  d.logged_write(0, "old");
+  d.logged_read(100'000, 0);
+  // Push the history far past the horizon.
+  harness::write_stream(d, 200'000, 1'000, 20);
+  TsVal got;
+  d.invoke_read(5'000'000, 0,
+                [&](const core::ReadResult& r) { got = r.tsval; });
+  d.run();
+  EXPECT_EQ(got.ts, 21u) << "must return the newest value";
+  EXPECT_TRUE(d.check().ok()) << d.check().summary();
+}
+
+TEST(HistoryGc, RejectsUnusableLimit) {
+  const Topology topo(1, 4);
+  EXPECT_DEATH(objects::RegularObject(topo, 0, 1), "two live slots");
+}
+
+}  // namespace
+}  // namespace rr

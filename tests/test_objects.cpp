@@ -1,0 +1,271 @@
+// Unit tests of the base-object automata (paper Figures 3 and 5): timestamp
+// guards, reader-timestamp storage, ack suppression, history bookkeeping and
+// the Section 5.1 suffix behaviour. Uses a capturing context, no simulator.
+#include <gtest/gtest.h>
+
+#include "adversary/capture.hpp"
+#include "objects/regular_object.hpp"
+#include "objects/safe_object.hpp"
+
+namespace rr::objects {
+namespace {
+
+using adversary::CapturingContext;
+using adversary::Outgoing;
+
+/// Minimal real context backing the capturing one.
+class NullContext final : public net::Context {
+ public:
+  [[nodiscard]] ProcessId self() const override { return 99; }
+  [[nodiscard]] Time now() const override { return 0; }
+  void send(ProcessId, wire::Message) override {}
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+ private:
+  Rng rng_{1};
+};
+
+struct Fixture {
+  Topology topo{2, 4};  // 2 readers, 4 objects
+  NullContext null;
+
+  std::vector<Outgoing> deliver(net::Process& obj, ProcessId from,
+                                wire::Message msg) {
+    CapturingContext cap(null);
+    obj.on_message(cap, from, msg);
+    return cap.take();
+  }
+
+  WTuple tuple(Ts ts, const Value& v) {
+    return WTuple{TsVal{ts, v}, init_tsrarray(4)};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SafeObject (Figure 3)
+// ---------------------------------------------------------------------------
+
+TEST(SafeObjectTest, InitialStateIsBottom) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  EXPECT_EQ(obj.state().ts, 0u);
+  EXPECT_TRUE(obj.state().pw.is_bottom());
+  EXPECT_EQ(obj.state().w, initial_wtuple(4));
+  EXPECT_EQ(obj.state().tsr, TsrRow(2, 0));
+}
+
+TEST(SafeObjectTest, PwAdoptsStrictlyNewer) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  auto out = f.deliver(obj, f.topo.writer(),
+                       wire::PwMsg{1, TsVal{1, "v1"}, f.tuple(0, "")});
+  ASSERT_EQ(out.size(), 1u);
+  const auto& ack = std::get<wire::PwAckMsg>(out[0].msg);
+  EXPECT_EQ(ack.ts, 1u);
+  EXPECT_EQ(ack.tsr, TsrRow(2, 0));
+  EXPECT_EQ(obj.state().pw, (TsVal{1, "v1"}));
+
+  // Same timestamp again: no state change, no ack (Figure 3's if-guard).
+  out = f.deliver(obj, f.topo.writer(),
+                  wire::PwMsg{1, TsVal{1, "other"}, f.tuple(0, "")});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(obj.state().pw.val, "v1");
+}
+
+TEST(SafeObjectTest, WAdoptsEqualOrNewer) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  f.deliver(obj, f.topo.writer(),
+            wire::PwMsg{2, TsVal{2, "v2"}, f.tuple(1, "v1")});
+  // W with the same ts must be adopted and acked (>= guard).
+  auto out = f.deliver(obj, f.topo.writer(),
+                       wire::WMsg{2, TsVal{2, "v2"}, f.tuple(2, "v2")});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<wire::WAckMsg>(out[0].msg).ts, 2u);
+  EXPECT_EQ(obj.state().w, f.tuple(2, "v2"));
+  // Older W rejected silently.
+  out = f.deliver(obj, f.topo.writer(),
+                  wire::WMsg{1, TsVal{1, "v1"}, f.tuple(1, "v1")});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SafeObjectTest, WBeforePwIsHandled) {
+  // Channels are not FIFO: the W of write k can arrive before its PW.
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  auto out = f.deliver(obj, f.topo.writer(),
+                       wire::WMsg{3, TsVal{3, "v3"}, f.tuple(3, "v3")});
+  ASSERT_EQ(out.size(), 1u);
+  // The late PW of the same write must be ignored (ts not strictly newer).
+  out = f.deliver(obj, f.topo.writer(),
+                  wire::PwMsg{3, TsVal{3, "v3"}, f.tuple(2, "v2")});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(obj.state().w, f.tuple(3, "v3"));
+}
+
+TEST(SafeObjectTest, ReadStoresTimestampBeforeReplying) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  auto out = f.deliver(obj, f.topo.reader(1), wire::ReadMsg{1, 5, 0});
+  ASSERT_EQ(out.size(), 1u);
+  const auto& ack = std::get<wire::ReadAckMsg>(out[0].msg);
+  EXPECT_EQ(ack.tsr, 5u);
+  EXPECT_EQ(obj.state().tsr[1], 5u);
+  EXPECT_EQ(obj.state().tsr[0], 0u) << "other reader's slot untouched";
+}
+
+TEST(SafeObjectTest, StaleReaderTimestampSuppressed) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  f.deliver(obj, f.topo.reader(0), wire::ReadMsg{1, 5, 0});
+  // Equal or lower timestamps get no reply (replay protection).
+  EXPECT_TRUE(f.deliver(obj, f.topo.reader(0), wire::ReadMsg{1, 5, 0}).empty());
+  EXPECT_TRUE(f.deliver(obj, f.topo.reader(0), wire::ReadMsg{2, 4, 0}).empty());
+  EXPECT_EQ(obj.state().tsr[0], 5u);
+}
+
+TEST(SafeObjectTest, NonWriterCannotWrite) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  auto out = f.deliver(obj, f.topo.reader(0),
+                       wire::PwMsg{9, TsVal{9, "evil"}, f.tuple(9, "evil")});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(obj.state().ts, 0u);
+}
+
+TEST(SafeObjectTest, NonReaderCannotRead) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  EXPECT_TRUE(f.deliver(obj, f.topo.writer(), wire::ReadMsg{1, 5, 0}).empty());
+  EXPECT_TRUE(
+      f.deliver(obj, f.topo.object(1), wire::ReadMsg{1, 5, 0}).empty());
+}
+
+TEST(SafeObjectTest, IgnoresForeignMessageTypes) {
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  EXPECT_TRUE(f.deliver(obj, f.topo.writer(), wire::AbdQueryMsg{1}).empty());
+  EXPECT_TRUE(f.deliver(obj, f.topo.reader(0), wire::PollMsg{1, 1}).empty());
+}
+
+TEST(SafeObjectTest, SetStateSupportsForging) {
+  // The lower-bound orchestration relies on state save/restore.
+  Fixture f;
+  SafeObject obj(f.topo, 0);
+  f.deliver(obj, f.topo.writer(),
+            wire::PwMsg{4, TsVal{4, "v4"}, f.tuple(3, "v3")});
+  const auto snapshot = obj.state();
+  SafeObject clone(f.topo, 0);
+  clone.set_state(snapshot);
+  EXPECT_EQ(clone.state(), obj.state());
+}
+
+// ---------------------------------------------------------------------------
+// RegularObject (Figure 5)
+// ---------------------------------------------------------------------------
+
+TEST(RegularObjectTest, InitialHistoryHasSlotZero) {
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  ASSERT_EQ(obj.history_size(), 1u);
+  const auto& e = obj.state().history.at(0);
+  ASSERT_TRUE(e.pw.has_value());
+  EXPECT_TRUE(e.pw->is_bottom());
+  ASSERT_TRUE(e.w.has_value());
+  EXPECT_EQ(*e.w, initial_wtuple(4));
+}
+
+TEST(RegularObjectTest, PwOpensSlotAndBackfillsPrevious) {
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  // PW of write 2 carries write 1's full tuple: slot 2 opens with pw only,
+  // slot 1 is completed from the carried tuple.
+  const WTuple w1 = f.tuple(1, "v1");
+  auto out =
+      f.deliver(obj, f.topo.writer(), wire::PwMsg{2, TsVal{2, "v2"}, w1});
+  ASSERT_EQ(out.size(), 1u);
+  const auto& h = obj.state().history;
+  ASSERT_TRUE(h.contains(2));
+  EXPECT_EQ(h.at(2).pw, (TsVal{2, "v2"}));
+  EXPECT_FALSE(h.at(2).w.has_value());
+  ASSERT_TRUE(h.contains(1));
+  EXPECT_EQ(h.at(1).w, w1);
+  EXPECT_EQ(h.at(1).pw, w1.tsval);
+}
+
+TEST(RegularObjectTest, WCompletesSlot) {
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  const WTuple w2 = f.tuple(2, "v2");
+  f.deliver(obj, f.topo.writer(), wire::PwMsg{2, TsVal{2, "v2"}, f.tuple(1, "v1")});
+  auto out = f.deliver(obj, f.topo.writer(), wire::WMsg{2, TsVal{2, "v2"}, w2});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(obj.state().history.at(2).w, w2);
+}
+
+TEST(RegularObjectTest, HistoryNeverShrinks) {
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  for (Ts k = 1; k <= 5; ++k) {
+    f.deliver(obj, f.topo.writer(),
+              wire::PwMsg{k, TsVal{k, "v"}, f.tuple(k - 1, "p")});
+    f.deliver(obj, f.topo.writer(),
+              wire::WMsg{k, TsVal{k, "v"}, f.tuple(k, "v")});
+  }
+  EXPECT_EQ(obj.history_size(), 6u);  // slots 0..5
+}
+
+TEST(RegularObjectTest, ReadReturnsFullHistoryByDefault) {
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  for (Ts k = 1; k <= 3; ++k) {
+    f.deliver(obj, f.topo.writer(),
+              wire::WMsg{k, TsVal{k, "v"}, f.tuple(k, "v")});
+  }
+  auto out = f.deliver(obj, f.topo.reader(0), wire::ReadMsg{1, 1, 0});
+  ASSERT_EQ(out.size(), 1u);
+  const auto& ack = std::get<wire::HistReadAckMsg>(out[0].msg);
+  EXPECT_EQ(ack.history.size(), 4u);  // 0..3
+}
+
+TEST(RegularObjectTest, SuffixRequestTrimsHistory) {
+  // Section 5.1: a reader with cache_ts = 2 receives only slots >= 2.
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  for (Ts k = 1; k <= 4; ++k) {
+    f.deliver(obj, f.topo.writer(),
+              wire::WMsg{k, TsVal{k, "v"}, f.tuple(k, "v")});
+  }
+  auto out = f.deliver(obj, f.topo.reader(0), wire::ReadMsg{1, 1, 2});
+  const auto& ack = std::get<wire::HistReadAckMsg>(out[0].msg);
+  EXPECT_EQ(ack.history.size(), 3u);  // slots 2, 3, 4
+  EXPECT_FALSE(ack.history.contains(0));
+  EXPECT_FALSE(ack.history.contains(1));
+  EXPECT_TRUE(ack.history.contains(2));
+}
+
+TEST(RegularObjectTest, StaleWriterTimestampIgnored) {
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  f.deliver(obj, f.topo.writer(),
+            wire::WMsg{5, TsVal{5, "v5"}, f.tuple(5, "v5")});
+  // An older PW must not touch the history (ts' > ts required).
+  auto out = f.deliver(obj, f.topo.writer(),
+                       wire::PwMsg{3, TsVal{3, "v3"}, f.tuple(2, "v2")});
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(obj.state().history.contains(3));
+}
+
+TEST(RegularObjectTest, ReaderTimestampGuardMatchesSafeObject) {
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  EXPECT_FALSE(
+      f.deliver(obj, f.topo.reader(1), wire::ReadMsg{1, 7, 0}).empty());
+  EXPECT_TRUE(
+      f.deliver(obj, f.topo.reader(1), wire::ReadMsg{2, 7, 0}).empty());
+  EXPECT_FALSE(
+      f.deliver(obj, f.topo.reader(1), wire::ReadMsg{2, 8, 0}).empty());
+}
+
+}  // namespace
+}  // namespace rr::objects

@@ -1,0 +1,145 @@
+// Threaded runtime: the same automata on real threads. Blocking client
+// facade, concurrent readers, Byzantine objects, and jittered scheduling.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/register.hpp"
+
+namespace rr::runtime {
+namespace {
+
+TEST(RobustRegisterTest, WriteThenRead) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(1, 1, 1);
+  RobustRegister reg(opts);
+  const auto w = reg.write("hello");
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->ts, 1u);
+  EXPECT_EQ(w->rounds, 2);
+  const auto r = reg.read();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tsval, (TsVal{1, "hello"}));
+  EXPECT_EQ(r->rounds, 2);
+}
+
+TEST(RobustRegisterTest, ReadBeforeWriteIsBottom) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(2, 1, 1);
+  RobustRegister reg(opts);
+  const auto r = reg.read();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->tsval.is_bottom());
+}
+
+TEST(RobustRegisterTest, SequentialValuesObservedInOrder) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(2, 2, 1);
+  RobustRegister reg(opts);
+  for (int k = 1; k <= 20; ++k) {
+    ASSERT_TRUE(reg.write("v" + std::to_string(k)).has_value());
+    const auto r = reg.read();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->tsval.ts, static_cast<Ts>(k));
+    EXPECT_EQ(r->tsval.val, "v" + std::to_string(k));
+  }
+}
+
+TEST(RobustRegisterTest, RegularVariantWorks) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(1, 1, 2);
+  opts.regular = true;
+  opts.optimized = true;
+  RobustRegister reg(opts);
+  ASSERT_TRUE(reg.write("r1").has_value());
+  const auto r = reg.read(1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tsval.val, "r1");
+}
+
+TEST(RobustRegisterTest, ConcurrentReadersAndWriter) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(2, 1, 4);
+  opts.max_jitter_us = 50;
+  RobustRegister reg(opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads_done{0};
+  std::atomic<bool> monotone{true};
+  std::vector<std::thread> threads;
+  for (int j = 0; j < 4; ++j) {
+    threads.emplace_back([&, j] {
+      Ts last = 0;
+      while (!stop.load()) {
+        const auto r = reg.read(j);
+        if (!r.has_value()) continue;
+        // Per-reader timestamps may regress only within regularity limits;
+        // in a quiescent gap they must not regress below a value this
+        // reader already saw AFTER the corresponding write completed. We
+        // check the weaker but still meaningful property that reads return
+        // valid written timestamps.
+        if (r->tsval.ts < last && last - r->tsval.ts > 1) {
+          // allow single-step concurrency effects; larger regressions are
+          // suspicious for a SWMR register under a serial writer
+          monotone.store(false);
+        }
+        last = std::max(last, r->tsval.ts);
+        reads_done.fetch_add(1);
+      }
+    });
+  }
+  for (int k = 1; k <= 30; ++k) {
+    ASSERT_TRUE(reg.write("w" + std::to_string(k)).has_value());
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_GT(reads_done.load(), 0);
+  EXPECT_TRUE(monotone.load());
+}
+
+TEST(RobustRegisterTest, ByzantineObjectsAreHarmless) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(2, 2, 1);
+  opts.byzantine[0] = adversary::StrategyKind::Forger;
+  opts.byzantine[1] = adversary::StrategyKind::Collude;
+  RobustRegister reg(opts);
+  for (int k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(reg.write("b" + std::to_string(k)).has_value());
+    const auto r = reg.read();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->tsval.ts, static_cast<Ts>(k));
+    EXPECT_EQ(r->tsval.val, "b" + std::to_string(k));
+  }
+}
+
+TEST(RobustRegisterTest, JitteredSchedulingStaysCorrect) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(1, 1, 2);
+  opts.max_jitter_us = 200;
+  opts.regular = true;
+  RobustRegister reg(opts);
+  std::thread reader([&] {
+    for (int i = 0; i < 10; ++i) {
+      const auto r = reg.read(0);
+      ASSERT_TRUE(r.has_value());
+    }
+  });
+  for (int k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(reg.write("j" + std::to_string(k)).has_value());
+  }
+  reader.join();
+  const auto fin = reg.read(1);
+  ASSERT_TRUE(fin.has_value());
+  EXPECT_EQ(fin->tsval.ts, 10u);
+}
+
+TEST(ClusterTest, MessagesDeliveredCountAdvances) {
+  RobustRegister::Options opts;
+  opts.res = Resilience::optimal(1, 1, 1);
+  RobustRegister reg(opts);
+  ASSERT_TRUE(reg.write("x").has_value());
+  EXPECT_GT(reg.cluster().messages_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace rr::runtime

@@ -1,0 +1,241 @@
+// Discrete-event simulator semantics: deterministic ordering, channel
+// holds/releases, crash behaviour, delay models, byte accounting.
+#include <gtest/gtest.h>
+
+#include "net/process.hpp"
+#include "sim/world.hpp"
+#include "wire/codec.hpp"
+
+namespace rr::sim {
+namespace {
+
+/// Test process: remembers deliveries, optionally echoes.
+class Probe final : public net::Process {
+ public:
+  explicit Probe(bool echo = false) : echo_(echo) {}
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override {
+    deliveries.push_back({ctx.now(), from, msg});
+    if (echo_) ctx.send(from, wire::WAckMsg{++echo_ts_});
+  }
+
+  struct Delivery {
+    Time at;
+    ProcessId from;
+    wire::Message msg;
+  };
+  std::vector<Delivery> deliveries;
+
+ private:
+  bool echo_;
+  Ts echo_ts_{0};
+};
+
+TEST(WorldTest, DeliversWithFixedDelay) {
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(500));
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  w.post(100, a, [b](net::Context& ctx) { ctx.send(b, wire::WAckMsg{1}); });
+  w.run();
+  ASSERT_EQ(p->deliveries.size(), 1u);
+  EXPECT_EQ(p->deliveries[0].at, 600u);
+  EXPECT_EQ(p->deliveries[0].from, a);
+}
+
+TEST(WorldTest, SameSeedSameSchedule) {
+  auto run_once = [](std::uint64_t seed) {
+    WorldOptions opts;
+    opts.seed = seed;
+    World w(opts);
+    auto probe = std::make_unique<Probe>();
+    auto* p = probe.get();
+    const auto a = w.add_process(std::make_unique<Probe>());
+    const auto b = w.add_process(std::move(probe));
+    for (int i = 0; i < 50; ++i) {
+      w.post(static_cast<Time>(i), a, [b, i](net::Context& ctx) {
+        ctx.send(b, wire::WAckMsg{static_cast<Ts>(i)});
+      });
+    }
+    w.run();
+    std::vector<Time> times;
+    for (const auto& d : p->deliveries) times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+TEST(WorldTest, HeldChannelBuffersUntilRelease) {
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(10));
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  w.hold(a, b);
+  w.post(0, a, [b](net::Context& ctx) { ctx.send(b, wire::WAckMsg{1}); });
+  w.run();
+  EXPECT_TRUE(p->deliveries.empty()) << "held message must not deliver";
+  w.release(a, b);
+  w.run();
+  ASSERT_EQ(p->deliveries.size(), 1u);
+}
+
+TEST(WorldTest, ReleasePreservesFifoOrder) {
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(10));
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  w.hold(a, b);
+  w.post(0, a, [b](net::Context& ctx) {
+    for (Ts i = 1; i <= 5; ++i) ctx.send(b, wire::WAckMsg{i});
+  });
+  w.run();
+  w.release(a, b);
+  w.run();
+  ASSERT_EQ(p->deliveries.size(), 5u);
+  for (Ts i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::get<wire::WAckMsg>(p->deliveries[i].msg).ts, i + 1);
+  }
+}
+
+TEST(WorldTest, CrashedProcessReceivesNothing) {
+  World w;
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  w.crash(b);
+  w.post(0, a, [b](net::Context& ctx) { ctx.send(b, wire::WAckMsg{1}); });
+  w.run();
+  EXPECT_TRUE(p->deliveries.empty());
+  EXPECT_EQ(w.stats().messages_dropped, 1u);
+}
+
+TEST(WorldTest, CrashedProcessTakesNoPostedSteps) {
+  World w;
+  const auto a = w.add_process(std::make_unique<Probe>());
+  bool ran = false;
+  w.crash(a);
+  w.post(0, a, [&ran](net::Context&) { ran = true; });
+  w.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorldTest, CrashMidRunDropsInFlight) {
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(1000));
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  w.post(0, a, [b](net::Context& ctx) { ctx.send(b, wire::WAckMsg{1}); });
+  // Crash b at time 500 -- before the delivery at 1000.
+  w.post(500, a, [&w, b](net::Context&) { w.crash(b); });
+  w.run();
+  EXPECT_TRUE(p->deliveries.empty());
+}
+
+TEST(WorldTest, EventOrderIsStableForSimultaneousEvents) {
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(0));
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  w.post(5, a, [b](net::Context& ctx) {
+    ctx.send(b, wire::WAckMsg{1});
+    ctx.send(b, wire::WAckMsg{2});
+  });
+  w.run();
+  ASSERT_EQ(p->deliveries.size(), 2u);
+  EXPECT_EQ(std::get<wire::WAckMsg>(p->deliveries[0].msg).ts, 1u);
+  EXPECT_EQ(std::get<wire::WAckMsg>(p->deliveries[1].msg).ts, 2u);
+}
+
+TEST(WorldTest, ByteAccountingMatchesCodec) {
+  World w;
+  auto probe = std::make_unique<Probe>();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  const wire::Message msg = wire::PwMsg{1, TsVal{1, "hello"},
+                                        initial_wtuple(3)};
+  w.post(0, a, [b, msg](net::Context& ctx) { ctx.send(b, msg); });
+  w.run();
+  EXPECT_EQ(w.stats().messages_sent, 1u);
+  EXPECT_EQ(w.stats().bytes_sent, wire::encoded_size(msg));
+}
+
+TEST(WorldTest, ReserializeOptionRoundTripsMessages) {
+  WorldOptions opts;
+  opts.reserialize = true;
+  World w(opts);
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  const wire::Message msg =
+      wire::ReadAckMsg{1, 9, TsVal{2, "x"}, initial_wtuple(2)};
+  w.post(0, a, [b, msg](net::Context& ctx) { ctx.send(b, msg); });
+  w.run();
+  ASSERT_EQ(p->deliveries.size(), 1u);
+  EXPECT_EQ(p->deliveries[0].msg, msg);
+}
+
+TEST(WorldTest, RunUntilStopsAtDeadline) {
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(100));
+  auto probe = std::make_unique<Probe>();
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  for (Time at : {Time{0}, Time{500}, Time{1000}}) {
+    w.post(at, a, [b](net::Context& ctx) { ctx.send(b, wire::WAckMsg{1}); });
+  }
+  w.run_until(650);
+  EXPECT_EQ(p->deliveries.size(), 2u);  // deliveries at 100 and 600
+  EXPECT_EQ(w.now(), 650u);
+  w.run();
+  EXPECT_EQ(p->deliveries.size(), 3u);
+}
+
+TEST(WorldTest, HoldAllAndReleaseAll) {
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(1));
+  auto probe = std::make_unique<Probe>(/*echo=*/true);
+  auto* p = probe.get();
+  const auto a = w.add_process(std::make_unique<Probe>());
+  const auto b = w.add_process(std::move(probe));
+  w.hold_all(b);
+  w.post(0, a, [b](net::Context& ctx) { ctx.send(b, wire::WAckMsg{1}); });
+  w.run();
+  EXPECT_TRUE(p->deliveries.empty());
+  w.release_all(b);
+  w.run();
+  EXPECT_EQ(p->deliveries.size(), 1u);
+}
+
+TEST(DelayModelTest, UniformRespectsBounds) {
+  Rng rng(3);
+  UniformDelay model(100, 200);
+  for (int i = 0; i < 1000; ++i) {
+    const Time d = model.sample(0, 1, 0, rng);
+    EXPECT_GE(d, 100u);
+    EXPECT_LE(d, 200u);
+  }
+}
+
+TEST(DelayModelTest, BiasedPenalizesHighIds) {
+  Rng rng(3);
+  BiasedDelay model(10, 5);
+  EXPECT_LT(model.sample(0, 3, 0, rng), model.sample(0, 7, 0, rng));
+}
+
+}  // namespace
+}  // namespace rr::sim

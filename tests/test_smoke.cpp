@@ -1,0 +1,76 @@
+// End-to-end smoke tests: every protocol completes a simple workload and
+// satisfies its promised semantics under benign asynchrony.
+#include <gtest/gtest.h>
+
+#include "harness/deployment.hpp"
+#include "harness/workload.hpp"
+
+namespace rr {
+namespace {
+
+using harness::Deployment;
+using harness::DeploymentOptions;
+using harness::Protocol;
+
+DeploymentOptions base_options(Protocol p, int t, int b, int readers,
+                               std::uint64_t seed) {
+  DeploymentOptions opts;
+  opts.protocol = p;
+  opts.res = (p == Protocol::Abd)
+                 ? Resilience{2 * t + 1, t, 0, readers}
+                 : (p == Protocol::FastWrite
+                        ? Resilience{2 * t + 2 * b + 1, t, b, readers}
+                        : Resilience::optimal(t, b, readers));
+  // ABD's Resilience has b = 0 which our validity check allows only with
+  // b >= 0; keep t >= 1.
+  opts.seed = seed;
+  return opts;
+}
+
+class SmokeTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SmokeTest, SequentialWritesThenReadsAreConsistent) {
+  auto opts = base_options(GetParam(), 2, GetParam() == Protocol::Abd ? 0 : 2,
+                           2, 42);
+  Deployment d(opts);
+  harness::sequential_then_reads(d, 5, 4);
+  d.run();
+  const auto report = d.check();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(d.log().snapshot().size(), 5u + 2u * 4u);
+  for (const auto& op : d.log().snapshot()) {
+    EXPECT_TRUE(op.complete) << "wait-freedom: every operation completes";
+  }
+}
+
+TEST_P(SmokeTest, ConcurrentMixedWorkloadIsConsistent) {
+  auto opts = base_options(GetParam(), 2, GetParam() == Protocol::Abd ? 0 : 2,
+                           3, 7);
+  Deployment d(opts);
+  harness::MixedWorkloadOptions w;
+  w.writes = 10;
+  w.reads_per_reader = 10;
+  harness::mixed_workload(d, w);
+  d.run();
+  const auto report = d.check();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  for (const auto& op : d.log().snapshot()) {
+    EXPECT_TRUE(op.complete);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, SmokeTest,
+    ::testing::Values(Protocol::Safe, Protocol::Regular,
+                      Protocol::RegularOptimized, Protocol::Abd,
+                      Protocol::Polling, Protocol::FastWrite, Protocol::Auth),
+    [](const auto& info) {
+      std::string name = harness::to_string(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rr

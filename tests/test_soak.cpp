@@ -1,0 +1,182 @@
+// Cross-cutting property soak: randomized deployments of every protocol
+// under combined crash + Byzantine + chaos-schedule + delay-model stress,
+// plus metamorphic properties (seed determinism, codec invariance) that
+// must hold across the whole stack.
+#include <gtest/gtest.h>
+
+#include "harness/chaos.hpp"
+#include "harness/deployment.hpp"
+#include "harness/workload.hpp"
+
+namespace rr {
+namespace {
+
+using harness::Deployment;
+using harness::DeploymentOptions;
+using harness::Protocol;
+
+Resilience resilience_for(Protocol p, int t, int b, int readers) {
+  if (p == Protocol::Abd) return Resilience{2 * t + 1, t, 0, readers};
+  if (p == Protocol::FastWrite) {
+    return Resilience{2 * t + 2 * b + 1, t, b, readers};
+  }
+  return Resilience::optimal(t, b, readers);
+}
+
+DeploymentOptions random_options(Protocol p, Rng& rng) {
+  DeploymentOptions opts;
+  opts.protocol = p;
+  const int t = 1 + static_cast<int>(rng.index(3));
+  const int b = p == Protocol::Abd ? 0 : 1 + static_cast<int>(rng.index(
+                                             static_cast<std::size_t>(t)));
+  const int readers = 1 + static_cast<int>(rng.index(3));
+  opts.res = resilience_for(p, t, b, readers);
+  opts.seed = rng();
+  const int byz =
+      b == 0 ? 0 : static_cast<int>(rng.uniform(0, static_cast<Ts>(b)));
+  const int crash =
+      static_cast<int>(rng.uniform(0, static_cast<Ts>(t - byz)));
+  const adversary::StrategyKind kinds[] = {
+      adversary::StrategyKind::Silent,      adversary::StrategyKind::Amnesiac,
+      adversary::StrategyKind::Forger,      adversary::StrategyKind::Accuser,
+      adversary::StrategyKind::Equivocator, adversary::StrategyKind::Stagger,
+      adversary::StrategyKind::Collude,     adversary::StrategyKind::Random};
+  opts.faults = harness::FaultPlan::mixed(byz, kinds[rng.index(8)], crash);
+  opts.delay = rng.chance(0.3) ? harness::DelayKind::HeavyTail
+                               : harness::DelayKind::Uniform;
+  opts.delay_lo = 500;
+  opts.delay_hi = rng.uniform(3'000, 80'000);
+  if (p == Protocol::Regular || p == Protocol::RegularOptimized) {
+    opts.history_limit = rng.chance(0.4) ? 2 + rng.index(8) : 0;
+  }
+  opts.reserialize = rng.chance(0.25);
+  return opts;
+}
+
+class SoakTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SoakTest, RandomizedStressMatrix) {
+  const Protocol p = GetParam();
+  Rng meta(0xC0FFEE + static_cast<std::uint64_t>(p));
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    auto opts = random_options(p, meta);
+    Deployment d(opts);
+    const int chaos_budget = opts.res.t - opts.faults.total_faulty();
+    if (chaos_budget > 0 && meta.chance(0.5)) {
+      harness::ChaosOptions chaos;
+      chaos.max_held = chaos_budget;
+      chaos.seed = meta();
+      chaos.horizon = 800'000;
+      harness::inject_chaos(d, chaos);
+    }
+    harness::MixedWorkloadOptions w;
+    w.writes = 4 + static_cast<int>(meta.index(8));
+    w.reads_per_reader = 4 + static_cast<int>(meta.index(8));
+    w.write_gap = meta.uniform(200, 20'000);
+    w.read_gap = meta.uniform(200, 20'000);
+    harness::mixed_workload(d, w);
+    d.run();
+    for (const auto& op : d.log().snapshot()) {
+      ASSERT_TRUE(op.complete)
+          << harness::to_string(p) << " iteration " << iteration
+          << " seed " << opts.seed;
+    }
+    const auto report = d.check();
+    ASSERT_TRUE(report.ok())
+        << harness::to_string(p) << " iteration " << iteration << " seed "
+        << opts.seed << "\n"
+        << report.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, SoakTest,
+    ::testing::Values(Protocol::Safe, Protocol::Regular,
+                      Protocol::RegularOptimized, Protocol::Abd,
+                      Protocol::Polling, Protocol::FastWrite, Protocol::Auth),
+    [](const auto& info) {
+      std::string name = harness::to_string(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SoakMetamorphic, IdenticalSeedsProduceIdenticalHistories) {
+  // Full-stack determinism: same options -> byte-identical operation logs.
+  auto run = [] {
+    DeploymentOptions opts;
+    opts.protocol = Protocol::Safe;
+    opts.res = Resilience::optimal(2, 2, 3);
+    opts.seed = 987654321;
+    opts.faults =
+        harness::FaultPlan::mixed(2, adversary::StrategyKind::Random, 0);
+    Deployment d(opts);
+    harness::MixedWorkloadOptions w;
+    w.writes = 10;
+    w.reads_per_reader = 10;
+    harness::mixed_workload(d, w);
+    d.run();
+    std::vector<std::tuple<int, Time, Time, Ts, Value>> trace;
+    for (const auto& op : d.log().snapshot()) {
+      trace.emplace_back(op.client, op.invoked_at, op.responded_at, op.ts,
+                         op.value);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SoakMetamorphic, ReserializationIsBehaviorPreservingEverywhere) {
+  for (const auto p : {Protocol::Safe, Protocol::Regular, Protocol::Abd,
+                       Protocol::Polling, Protocol::Auth}) {
+    auto run = [p](bool reserialize) {
+      DeploymentOptions opts;
+      opts.protocol = p;
+      opts.res = resilience_for(p, 2, p == Protocol::Abd ? 0 : 1, 2);
+      opts.seed = 24680;
+      opts.reserialize = reserialize;
+      Deployment d(opts);
+      harness::MixedWorkloadOptions w;
+      w.writes = 8;
+      w.reads_per_reader = 8;
+      harness::mixed_workload(d, w);
+      d.run();
+      std::vector<std::pair<Ts, Value>> reads;
+      for (const auto& op : d.log().snapshot()) {
+        if (op.kind == checker::OpRecord::Kind::Read) {
+          reads.emplace_back(op.ts, op.value);
+        }
+      }
+      return reads;
+    };
+    EXPECT_EQ(run(false), run(true)) << harness::to_string(p);
+  }
+}
+
+TEST(SoakMetamorphic, ByzantineCountMonotonicity) {
+  // Adding Byzantine objects (within budget) must never break consistency
+  // -- sweep 0..b impostors with everything else fixed.
+  for (int byz = 0; byz <= 2; ++byz) {
+    DeploymentOptions opts;
+    opts.protocol = Protocol::Safe;
+    opts.res = Resilience::optimal(2, 2, 2);
+    opts.seed = 1357;
+    opts.faults =
+        harness::FaultPlan::mixed(byz, adversary::StrategyKind::Forger, 0);
+    Deployment d(opts);
+    harness::sequential_then_reads(d, 5, 5);
+    d.run();
+    const auto report = d.check();
+    EXPECT_TRUE(report.ok()) << "byz=" << byz << "\n" << report.summary();
+    // Reads after quiescent writes must pin the exact final value.
+    for (const auto& op : d.log().snapshot()) {
+      if (op.kind == checker::OpRecord::Kind::Read) {
+        EXPECT_EQ(op.ts, 5u) << "byz=" << byz;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rr
