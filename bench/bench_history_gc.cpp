@@ -52,9 +52,7 @@ void print_gc_table() {
         }
       }
       constexpr std::size_t kHistAckIndex = 6;
-      const auto it = d.world().stats().bytes_by_type.find(kHistAckIndex);
-      ack_bytes +=
-          it == d.world().stats().bytes_by_type.end() ? 0 : it->second;
+      ack_bytes += d.world().stats().bytes_by_type[kHistAckIndex];
       const auto report = d.check();
       reads += report.reads_checked;
       violations += static_cast<int>(report.violations.size());

@@ -46,8 +46,7 @@ Measurement measure(bool optimized, int writes) {
   static_assert(std::is_same_v<
                 std::variant_alternative_t<kHistAckIndex, wire::Message>,
                 wire::HistReadAckMsg>);
-  const auto it = d.world().stats().bytes_by_type.find(kHistAckIndex);
-  m.ack_bytes = it == d.world().stats().bytes_by_type.end() ? 0 : it->second;
+  m.ack_bytes = d.world().stats().bytes_by_type[kHistAckIndex];
   return m;
 }
 

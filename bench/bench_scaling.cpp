@@ -71,11 +71,12 @@ void print_reader_scaling() {
     d.run();
     // Attribute PW/W bytes to writes, READ/READ_ACK bytes to reads.
     std::uint64_t write_bytes = 0, read_bytes = 0;
-    for (const auto& [idx, bytes] : d.world().stats().bytes_by_type) {
+    const auto& by_type = d.world().stats().bytes_by_type;
+    for (std::size_t idx = 0; idx < by_type.size(); ++idx) {
       if (idx <= 3) {
-        write_bytes += bytes;  // PW, PW_ACK, W, WRITE_ACK
+        write_bytes += by_type[idx];  // PW, PW_ACK, W, WRITE_ACK
       } else if (idx <= 6) {
-        read_bytes += bytes;  // READ, READ_ACK, HIST_ACK
+        read_bytes += by_type[idx];  // READ, READ_ACK, HIST_ACK
       }
     }
     table.add_row(readers, stats.reads.count(),

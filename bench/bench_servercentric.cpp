@@ -78,9 +78,7 @@ ScStats run_sc(int t, int b, int readers, int ops, std::uint64_t seed) {
   static_assert(std::is_same_v<
                 std::variant_alternative_t<kGossipIndex, wire::Message>,
                 wire::ScGossipMsg>);
-  const auto it = world.stats().messages_by_type.find(kGossipIndex);
-  stats.gossip_msgs =
-      it == world.stats().messages_by_type.end() ? 0 : it->second;
+  stats.gossip_msgs = world.stats().messages_by_type[kGossipIndex];
   stats.violations = static_cast<int>(
       checker::check_safety(log.snapshot()).violations.size());
   return stats;

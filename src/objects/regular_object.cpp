@@ -61,8 +61,12 @@ void RegularObject::handle_w(net::Context& ctx, ProcessId from,
 
 void RegularObject::prune_history() {
   if (history_limit_ == 0) return;
-  while (st_.history.size() > history_limit_) {
-    st_.history.erase(st_.history.begin());
+  if (st_.history.size() > history_limit_) {
+    // One range erase (single shift of the kept suffix) instead of
+    // erasing the front slot-by-slot.
+    st_.history.erase(st_.history.begin(),
+                      st_.history.end() -
+                          static_cast<std::ptrdiff_t>(history_limit_));
   }
 }
 
@@ -79,10 +83,10 @@ void RegularObject::handle_read(net::Context& ctx, ProcessId from,
     wire::HistReadAckMsg ack;
     ack.round = m.round;
     ack.tsr = st_.tsr[j];
-    for (auto it = st_.history.lower_bound(m.cache_ts);
-         it != st_.history.end(); ++it) {
-      ack.history.emplace(it->first, it->second);
-    }
+    // One binary search + one bulk copy of the suffix range (the history is
+    // a sorted flat vector).
+    ack.history = wire::History(st_.history.lower_bound(m.cache_ts),
+                                st_.history.end());
     ctx.send(from, std::move(ack));
   }
 }

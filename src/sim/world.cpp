@@ -1,5 +1,7 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "wire/codec.hpp"
 
@@ -65,22 +67,85 @@ void World::start() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Event slab + 4-ary index heap
+// ---------------------------------------------------------------------------
+
+World::EventIndex World::alloc_event() {
+  if (!free_.empty()) {
+    const EventIndex idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<EventIndex>(pool_.size() - 1);
+}
+
+void World::heap_push(EventIndex idx) {
+  heap_.push_back(idx);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!event_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+World::EventIndex World::heap_pop() {
+  const EventIndex top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (event_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!event_before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
 void World::post(Time at, ProcessId pid,
                  std::function<void(net::Context&)> fn) {
   RR_ASSERT(pid >= 0 && pid < num_processes());
   RR_ASSERT(at >= now_);
-  Event ev;
+  const EventIndex idx = alloc_event();
+  Event& ev = pool_[idx];
   ev.at = at;
   ev.seq = next_seq_++;
   ev.is_delivery = false;
+  ev.from = kNoProcess;
   ev.to = pid;
   ev.fn = std::move(fn);
-  queue_.push(std::move(ev));
+  heap_push(idx);
 }
+
+// ---------------------------------------------------------------------------
+// Crashes and held channels
+// ---------------------------------------------------------------------------
 
 void World::crash(ProcessId pid) {
   RR_ASSERT(pid >= 0 && pid < num_processes());
   procs_[static_cast<std::size_t>(pid)].crashed = true;
+  // Discard buffers held on channels adjacent to the crashed process: those
+  // messages could only ever be dropped at delivery, so freeing them now
+  // keeps long chaos runs from pinning dead history payloads.
+  if (held_count_ == 0) return;
+  for (auto& [key, buffer] : held_buffers_) {
+    const auto from = static_cast<ProcessId>(key >> 32);
+    const auto to = static_cast<ProcessId>(key & 0xffffffffu);
+    if (from != pid && to != pid) continue;
+    stats_.messages_dropped += buffer.size();
+    buffer.clear();
+  }
 }
 
 bool World::crashed(ProcessId pid) const {
@@ -88,24 +153,52 @@ bool World::crashed(ProcessId pid) const {
   return procs_[static_cast<std::size_t>(pid)].crashed;
 }
 
-void World::hold(ProcessId from, ProcessId to) { held_[{from, to}]; }
+void World::ensure_flag_capacity() {
+  const auto n = static_cast<std::size_t>(num_processes());
+  if (n <= flag_stride_) return;
+  std::vector<std::uint8_t> grown(n * n, 0);
+  for (std::size_t f = 0; f < flag_stride_; ++f) {
+    for (std::size_t t = 0; t < flag_stride_; ++t) {
+      grown[f * n + t] = held_flags_[f * flag_stride_ + t];
+    }
+  }
+  held_flags_ = std::move(grown);
+  flag_stride_ = n;
+}
+
+void World::hold(ProcessId from, ProcessId to) {
+  RR_ASSERT(from >= 0 && from < num_processes());
+  RR_ASSERT(to >= 0 && to < num_processes());
+  ensure_flag_capacity();
+  auto& flag =
+      held_flags_[static_cast<std::size_t>(from) * flag_stride_ +
+                  static_cast<std::size_t>(to)];
+  if (flag != 0) return;
+  flag = 1;
+  ++held_count_;
+}
 
 void World::hold_all(ProcessId pid) {
   for (ProcessId q = 0; q < num_processes(); ++q) {
+    if (q == pid) continue;  // the self-channel pid -> pid is never used
     hold(pid, q);
     hold(q, pid);
   }
 }
 
 bool World::held(ProcessId from, ProcessId to) const {
-  return held_.contains({from, to});
+  return chan_flag(from, to);
 }
 
 void World::release(ProcessId from, ProcessId to) {
-  auto it = held_.find({from, to});
-  if (it == held_.end()) return;
+  if (!chan_flag(from, to)) return;
+  held_flags_[static_cast<std::size_t>(from) * flag_stride_ +
+              static_cast<std::size_t>(to)] = 0;
+  --held_count_;
+  const auto it = held_buffers_.find(chan_key(from, to));
+  if (it == held_buffers_.end()) return;
   auto buffered = std::move(it->second);
-  held_.erase(it);
+  held_buffers_.erase(it);
   // Re-inject with fresh delays from `now`, preserving send order via the
   // monotonically increasing sequence numbers.
   for (auto& msg : buffered) {
@@ -115,13 +208,15 @@ void World::release(ProcessId from, ProcessId to) {
 }
 
 void World::release_all(ProcessId pid) {
-  // Collect keys first: release() mutates held_.
-  std::vector<std::pair<ProcessId, ProcessId>> keys;
-  for (const auto& [key, unused] : held_) {
-    if (key.first == pid || key.second == pid) keys.push_back(key);
+  for (ProcessId q = 0; q < num_processes(); ++q) {
+    release(pid, q);
+    release(q, pid);
   }
-  for (const auto& [from, to] : keys) release(from, to);
 }
+
+// ---------------------------------------------------------------------------
+// Send / deliver / step
+// ---------------------------------------------------------------------------
 
 void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
   RR_ASSERT(to >= 0 && to < num_processes());
@@ -132,8 +227,16 @@ void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
     stats_.bytes_sent += n;
     stats_.bytes_by_type[msg.index()] += n;
   }
-  if (auto it = held_.find({from, to}); it != held_.end()) {
-    it->second.push_back(std::move(msg));
+  if (held_count_ != 0 && chan_flag(from, to)) {
+    // A buffer on a channel adjacent to a crashed endpoint could only ever
+    // be purged (crash() discards it; delivery would drop it), so don't
+    // let post-crash sends refill it and pin memory until release.
+    if (procs_[static_cast<std::size_t>(to)].crashed ||
+        procs_[static_cast<std::size_t>(from)].crashed) {
+      stats_.messages_dropped++;
+      return;
+    }
+    held_buffers_[chan_key(from, to)].push_back(std::move(msg));
     return;
   }
   const Time d = delay_->sample(from, to, now_, rng_);
@@ -142,14 +245,15 @@ void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
 
 void World::schedule_delivery(ProcessId from, ProcessId to, wire::Message msg,
                               Time at) {
-  Event ev;
+  const EventIndex idx = alloc_event();
+  Event& ev = pool_[idx];
   ev.at = at;
   ev.seq = next_seq_++;
   ev.is_delivery = true;
   ev.from = from;
   ev.to = to;
   ev.msg = std::move(msg);
-  queue_.push(std::move(ev));
+  heap_push(idx);
 }
 
 void World::deliver(const Event& ev) {
@@ -173,11 +277,17 @@ void World::deliver(const Event& ev) {
 }
 
 bool World::step() {
-  if (queue_.empty()) return false;
+  if (heap_.empty()) return false;
   RR_ASSERT_MSG(executed_ < opts_.max_events,
                 "event budget exhausted: likely livelock in a protocol");
-  Event ev = queue_.top();
-  queue_.pop();
+  const EventIndex idx = heap_pop();
+  // Move the event out of its slab slot and recycle the slot *before*
+  // running the handler: handlers send messages, which may claim the slot
+  // (and, on slab growth, invalidate references into pool_). The move
+  // steals the message payload -- no deep copy, no allocation.
+  Event ev = std::move(pool_[idx]);
+  pool_[idx].fn = nullptr;
+  free_.push_back(idx);
   executed_++;
   RR_ASSERT(ev.at >= now_);
   now_ = ev.at;
@@ -201,7 +311,7 @@ std::uint64_t World::run() {
 
 std::uint64_t World::run_until(Time deadline) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline && step()) ++n;
+  while (!heap_.empty() && pool_[heap_.front()].at <= deadline && step()) ++n;
   if (now_ < deadline) now_ = deadline;
   return n;
 }

@@ -10,15 +10,29 @@
 //
 // Everything is deterministic given the seed: events are ordered by
 // (virtual time, insertion sequence).
+//
+// Hot-path design (the simulator is the throughput ceiling for every
+// experiment in this reproduction):
+//   - Events live in a slab (std::vector<Event>) recycled through a free
+//     list; the priority queue is a 4-ary min-heap of slab indices. step()
+//     *moves* the due event out of its slab slot, so messages -- including
+//     regular-storage histories -- are never deep-copied after send, and a
+//     steady-state step() performs no heap allocation for deliveries.
+//   - Byte accounting uses wire::encoded_size(), a counting visitor that
+//     never materializes the encoded bytes.
+//   - Per-type stats are fixed arrays indexed by Message::variant index;
+//     the held-channel check is a packed-key flag table behind a
+//     held-channel count so the common no-holds case is a single branch.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <queue>
+#include <unordered_map>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -31,12 +45,14 @@ namespace rr::sim {
 
 /// Aggregate traffic statistics, broken down by message type index.
 struct NetStats {
+  static constexpr std::size_t kNumTypes = std::variant_size_v<wire::Message>;
+
   std::uint64_t messages_sent{0};
   std::uint64_t messages_delivered{0};
   std::uint64_t messages_dropped{0};  ///< sent to crashed processes
   std::uint64_t bytes_sent{0};
-  std::map<std::size_t, std::uint64_t> messages_by_type;
-  std::map<std::size_t, std::uint64_t> bytes_by_type;
+  std::array<std::uint64_t, kNumTypes> messages_by_type{};
+  std::array<std::uint64_t, kNumTypes> bytes_by_type{};
 };
 
 struct WorldOptions {
@@ -79,13 +95,18 @@ class World {
   void post(Time at, ProcessId pid, std::function<void(net::Context&)> fn);
 
   /// Crash: the process takes no further steps; all messages to and from it
-  /// that are not yet delivered are dropped, as are future sends.
+  /// that are not yet delivered are dropped, as are future sends. Messages
+  /// buffered on held channels adjacent to the process are discarded
+  /// immediately (counted as dropped) so they do not pin memory for the
+  /// rest of the run.
   void crash(ProcessId pid);
   [[nodiscard]] bool crashed(ProcessId pid) const;
 
   /// Holds a channel: messages sent from -> to are buffered, not scheduled.
   void hold(ProcessId from, ProcessId to);
-  /// Holds every channel adjacent to `pid` (both directions, all peers).
+  /// Holds every channel adjacent to `pid` (both directions, all peers
+  /// except the self-channel pid -> pid, which local computation never
+  /// uses).
   void hold_all(ProcessId pid);
   /// Releases a channel; buffered messages are scheduled for delivery with
   /// fresh delays starting at the current time. FIFO order is preserved.
@@ -116,6 +137,8 @@ class World {
  private:
   friend class WorldContext;
 
+  using EventIndex = std::uint32_t;
+
   struct Event {
     Time at{};
     std::uint64_t seq{};
@@ -125,13 +148,6 @@ class World {
     ProcessId to{kNoProcess};
     wire::Message msg{};
     std::function<void(net::Context&)> fn{};
-  };
-
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
   };
 
   struct ProcSlot {
@@ -145,14 +161,48 @@ class World {
                          Time at);
   void deliver(const Event& ev);
 
+  // Slab + free list + index heap.
+  [[nodiscard]] EventIndex alloc_event();
+  [[nodiscard]] bool event_before(EventIndex a, EventIndex b) const {
+    const Event& ea = pool_[a];
+    const Event& eb = pool_[b];
+    if (ea.at != eb.at) return ea.at < eb.at;
+    return ea.seq < eb.seq;
+  }
+  void heap_push(EventIndex idx);
+  [[nodiscard]] EventIndex heap_pop();
+
+  // Held-channel bookkeeping. Channel keys pack (from, to) into one u64;
+  // the flag table is a flat n*n byte array for O(1) membership tests.
+  [[nodiscard]] static std::uint64_t chan_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+  void ensure_flag_capacity();
+  [[nodiscard]] bool chan_flag(ProcessId from, ProcessId to) const {
+    const auto f = static_cast<std::size_t>(from);
+    const auto t = static_cast<std::size_t>(to);
+    return f < flag_stride_ && t < flag_stride_ &&
+           held_flags_[f * flag_stride_ + t] != 0;
+  }
+
   Options opts_;
   Rng rng_;
   Time now_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
   std::vector<ProcSlot> procs_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::map<std::pair<ProcessId, ProcessId>, std::deque<wire::Message>> held_;
+
+  std::vector<Event> pool_;         ///< event slab
+  std::vector<EventIndex> free_;    ///< recycled slab slots
+  std::vector<EventIndex> heap_;    ///< 4-ary min-heap of slab indices
+
+  std::size_t held_count_{0};       ///< number of currently held channels
+  std::size_t flag_stride_{0};      ///< row width of held_flags_
+  std::vector<std::uint8_t> held_flags_;
+  std::unordered_map<std::uint64_t, std::deque<wire::Message>> held_buffers_;
+
   std::unique_ptr<DelayModel> delay_;
   NetStats stats_;
 };

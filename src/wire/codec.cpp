@@ -34,6 +34,22 @@ class ByteWriter {
   std::string out_;
 };
 
+/// Drop-in ByteWriter replacement that only counts: encoded_size() runs the
+/// exact same put_body() code as encode() but never materializes bytes, so
+/// per-message byte accounting in the simulator hot loop is allocation-free.
+class SizeWriter {
+ public:
+  void u8(std::uint8_t) { n_ += 1; }
+  void u32(std::uint32_t) { n_ += 4; }
+  void u64(std::uint64_t) { n_ += 8; }
+  void bytes(const std::string& s) { n_ += 4 + s.size(); }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+};
+
 class ByteReader {
  public:
   explicit ByteReader(const std::string& in) : in_(in) {}
@@ -95,14 +111,16 @@ constexpr std::uint32_t kMaxElems = 1u << 20;
 // Composite encoders / decoders
 // ---------------------------------------------------------------------------
 
-void put(ByteWriter& w, const TsVal& v) {
+template <class W>
+void put(W& w, const TsVal& v) {
   w.u64(v.ts);
   w.bytes(v.val);
 }
 
 bool get(ByteReader& r, TsVal& v) { return r.u64(v.ts) && r.bytes(v.val); }
 
-void put(ByteWriter& w, const TsrRow& row) {
+template <class W>
+void put(W& w, const TsrRow& row) {
   w.u32(static_cast<std::uint32_t>(row.size()));
   for (auto x : row) w.u64(x);
 }
@@ -120,7 +138,8 @@ bool get(ByteReader& r, TsrRow& row) {
   return true;
 }
 
-void put(ByteWriter& w, const TsrArray& arr) {
+template <class W>
+void put(W& w, const TsrArray& arr) {
   w.u32(static_cast<std::uint32_t>(arr.size()));
   for (const auto& entry : arr) {
     w.u8(entry.has_value() ? 1 : 0);
@@ -147,7 +166,8 @@ bool get(ByteReader& r, TsrArray& arr) {
   return true;
 }
 
-void put(ByteWriter& w, const WTuple& t) {
+template <class W>
+void put(W& w, const WTuple& t) {
   put(w, t.tsval);
   put(w, t.tsrarray);
 }
@@ -156,7 +176,8 @@ bool get(ByteReader& r, WTuple& t) {
   return get(r, t.tsval) && get(r, t.tsrarray);
 }
 
-void put(ByteWriter& w, const HistEntry& e) {
+template <class W>
+void put(W& w, const HistEntry& e) {
   w.u8(e.pw.has_value() ? 1 : 0);
   if (e.pw) put(w, *e.pw);
   w.u8(e.w.has_value() ? 1 : 0);
@@ -184,7 +205,8 @@ bool get(ByteReader& r, HistEntry& e) {
   return true;
 }
 
-void put(ByteWriter& w, const History& h) {
+template <class W>
+void put(W& w, const History& h) {
   w.u32(static_cast<std::uint32_t>(h.size()));
   for (const auto& [ts, entry] : h) {
     w.u64(ts);
@@ -209,7 +231,8 @@ bool get(ByteReader& r, History& h) {
 // Per-message bodies
 // ---------------------------------------------------------------------------
 
-void put_body(ByteWriter& w, const PwMsg& m) {
+template <class W>
+void put_body(W& w, const PwMsg& m) {
   w.u64(m.ts);
   put(w, m.pw);
   put(w, m.w);
@@ -218,7 +241,8 @@ bool get_body(ByteReader& r, PwMsg& m) {
   return r.u64(m.ts) && get(r, m.pw) && get(r, m.w);
 }
 
-void put_body(ByteWriter& w, const PwAckMsg& m) {
+template <class W>
+void put_body(W& w, const PwAckMsg& m) {
   w.u64(m.ts);
   put(w, m.tsr);
 }
@@ -226,7 +250,8 @@ bool get_body(ByteReader& r, PwAckMsg& m) {
   return r.u64(m.ts) && get(r, m.tsr);
 }
 
-void put_body(ByteWriter& w, const WMsg& m) {
+template <class W>
+void put_body(W& w, const WMsg& m) {
   w.u64(m.ts);
   put(w, m.pw);
   put(w, m.w);
@@ -235,10 +260,12 @@ bool get_body(ByteReader& r, WMsg& m) {
   return r.u64(m.ts) && get(r, m.pw) && get(r, m.w);
 }
 
-void put_body(ByteWriter& w, const WAckMsg& m) { w.u64(m.ts); }
+template <class W>
+void put_body(W& w, const WAckMsg& m) { w.u64(m.ts); }
 bool get_body(ByteReader& r, WAckMsg& m) { return r.u64(m.ts); }
 
-void put_body(ByteWriter& w, const ReadMsg& m) {
+template <class W>
+void put_body(W& w, const ReadMsg& m) {
   w.u8(m.round);
   w.u64(m.tsr);
   w.u64(m.cache_ts);
@@ -247,7 +274,8 @@ bool get_body(ByteReader& r, ReadMsg& m) {
   return r.u8(m.round) && r.u64(m.tsr) && r.u64(m.cache_ts);
 }
 
-void put_body(ByteWriter& w, const ReadAckMsg& m) {
+template <class W>
+void put_body(W& w, const ReadAckMsg& m) {
   w.u8(m.round);
   w.u64(m.tsr);
   put(w, m.pw);
@@ -257,7 +285,8 @@ bool get_body(ByteReader& r, ReadAckMsg& m) {
   return r.u8(m.round) && r.u64(m.tsr) && get(r, m.pw) && get(r, m.w);
 }
 
-void put_body(ByteWriter& w, const HistReadAckMsg& m) {
+template <class W>
+void put_body(W& w, const HistReadAckMsg& m) {
   w.u8(m.round);
   w.u64(m.tsr);
   put(w, m.history);
@@ -266,7 +295,8 @@ bool get_body(ByteReader& r, HistReadAckMsg& m) {
   return r.u8(m.round) && r.u64(m.tsr) && get(r, m.history);
 }
 
-void put_body(ByteWriter& w, const AbdStoreMsg& m) {
+template <class W>
+void put_body(W& w, const AbdStoreMsg& m) {
   w.u64(m.seq);
   put(w, m.tsval);
 }
@@ -274,13 +304,16 @@ bool get_body(ByteReader& r, AbdStoreMsg& m) {
   return r.u64(m.seq) && get(r, m.tsval);
 }
 
-void put_body(ByteWriter& w, const AbdStoreAckMsg& m) { w.u64(m.seq); }
+template <class W>
+void put_body(W& w, const AbdStoreAckMsg& m) { w.u64(m.seq); }
 bool get_body(ByteReader& r, AbdStoreAckMsg& m) { return r.u64(m.seq); }
 
-void put_body(ByteWriter& w, const AbdQueryMsg& m) { w.u64(m.seq); }
+template <class W>
+void put_body(W& w, const AbdQueryMsg& m) { w.u64(m.seq); }
 bool get_body(ByteReader& r, AbdQueryMsg& m) { return r.u64(m.seq); }
 
-void put_body(ByteWriter& w, const AbdQueryAckMsg& m) {
+template <class W>
+void put_body(W& w, const AbdQueryAckMsg& m) {
   w.u64(m.seq);
   put(w, m.tsval);
 }
@@ -288,7 +321,8 @@ bool get_body(ByteReader& r, AbdQueryAckMsg& m) {
   return r.u64(m.seq) && get(r, m.tsval);
 }
 
-void put_body(ByteWriter& w, const BlWriteMsg& m) {
+template <class W>
+void put_body(W& w, const BlWriteMsg& m) {
   w.u8(m.phase);
   w.u64(m.ts);
   w.bytes(m.val);
@@ -297,7 +331,8 @@ bool get_body(ByteReader& r, BlWriteMsg& m) {
   return r.u8(m.phase) && r.u64(m.ts) && r.bytes(m.val);
 }
 
-void put_body(ByteWriter& w, const BlWriteAckMsg& m) {
+template <class W>
+void put_body(W& w, const BlWriteAckMsg& m) {
   w.u8(m.phase);
   w.u64(m.ts);
 }
@@ -305,7 +340,8 @@ bool get_body(ByteReader& r, BlWriteAckMsg& m) {
   return r.u8(m.phase) && r.u64(m.ts);
 }
 
-void put_body(ByteWriter& w, const FwWriteMsg& m) {
+template <class W>
+void put_body(W& w, const FwWriteMsg& m) {
   w.u64(m.ts);
   w.bytes(m.val);
 }
@@ -313,10 +349,12 @@ bool get_body(ByteReader& r, FwWriteMsg& m) {
   return r.u64(m.ts) && r.bytes(m.val);
 }
 
-void put_body(ByteWriter& w, const FwWriteAckMsg& m) { w.u64(m.ts); }
+template <class W>
+void put_body(W& w, const FwWriteAckMsg& m) { w.u64(m.ts); }
 bool get_body(ByteReader& r, FwWriteAckMsg& m) { return r.u64(m.ts); }
 
-void put_body(ByteWriter& w, const PollMsg& m) {
+template <class W>
+void put_body(W& w, const PollMsg& m) {
   w.u64(m.seq);
   w.u32(m.round);
 }
@@ -324,7 +362,8 @@ bool get_body(ByteReader& r, PollMsg& m) {
   return r.u64(m.seq) && r.u32(m.round);
 }
 
-void put_body(ByteWriter& w, const PollAckMsg& m) {
+template <class W>
+void put_body(W& w, const PollAckMsg& m) {
   w.u64(m.seq);
   w.u32(m.round);
   put(w, m.pw);
@@ -334,7 +373,8 @@ bool get_body(ByteReader& r, PollAckMsg& m) {
   return r.u64(m.seq) && r.u32(m.round) && get(r, m.pw) && get(r, m.w);
 }
 
-void put_body(ByteWriter& w, const AuthWriteMsg& m) {
+template <class W>
+void put_body(W& w, const AuthWriteMsg& m) {
   w.u64(m.ts);
   w.bytes(m.val);
   w.bytes(m.mac);
@@ -343,13 +383,16 @@ bool get_body(ByteReader& r, AuthWriteMsg& m) {
   return r.u64(m.ts) && r.bytes(m.val) && r.bytes(m.mac);
 }
 
-void put_body(ByteWriter& w, const AuthWriteAckMsg& m) { w.u64(m.ts); }
+template <class W>
+void put_body(W& w, const AuthWriteAckMsg& m) { w.u64(m.ts); }
 bool get_body(ByteReader& r, AuthWriteAckMsg& m) { return r.u64(m.ts); }
 
-void put_body(ByteWriter& w, const AuthReadMsg& m) { w.u64(m.seq); }
+template <class W>
+void put_body(W& w, const AuthReadMsg& m) { w.u64(m.seq); }
 bool get_body(ByteReader& r, AuthReadMsg& m) { return r.u64(m.seq); }
 
-void put_body(ByteWriter& w, const AuthReadAckMsg& m) {
+template <class W>
+void put_body(W& w, const AuthReadAckMsg& m) {
   w.u64(m.seq);
   w.u64(m.ts);
   w.bytes(m.val);
@@ -359,10 +402,12 @@ bool get_body(ByteReader& r, AuthReadAckMsg& m) {
   return r.u64(m.seq) && r.u64(m.ts) && r.bytes(m.val) && r.bytes(m.mac);
 }
 
-void put_body(ByteWriter& w, const ScReadMsg& m) { w.u64(m.seq); }
+template <class W>
+void put_body(W& w, const ScReadMsg& m) { w.u64(m.seq); }
 bool get_body(ByteReader& r, ScReadMsg& m) { return r.u64(m.seq); }
 
-void put_body(ByteWriter& w, const ScPushMsg& m) {
+template <class W>
+void put_body(W& w, const ScPushMsg& m) {
   w.u64(m.seq);
   w.u32(m.epoch);
   put(w, m.pw);
@@ -372,7 +417,8 @@ bool get_body(ByteReader& r, ScPushMsg& m) {
   return r.u64(m.seq) && r.u32(m.epoch) && get(r, m.pw) && get(r, m.w);
 }
 
-void put_body(ByteWriter& w, const ScGossipMsg& m) {
+template <class W>
+void put_body(W& w, const ScGossipMsg& m) {
   w.u64(m.ts);
   put(w, m.pw);
   put(w, m.w);
@@ -417,7 +463,12 @@ std::optional<Message> decode(const std::string& bytes) {
   return decode_alternative(tag, r);
 }
 
-std::size_t encoded_size(const Message& m) { return encode(m).size(); }
+std::size_t encoded_size(const Message& m) {
+  SizeWriter w;
+  w.u8(static_cast<std::uint8_t>(m.index()));
+  std::visit([&](const auto& body) { put_body(w, body); }, m);
+  return w.size();
+}
 
 const char* type_name(const Message& m) {
   static constexpr const char* kNames[] = {

@@ -11,11 +11,15 @@
 //   READk_ACK with history        -- Figure 5/6 (regular storage)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <initializer_list>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -90,7 +94,101 @@ struct HistEntry {
 };
 
 /// Ordered write history (keyed by writer timestamp).
-using History = std::map<Ts, HistEntry>;
+///
+/// Stored as a sorted flat vector searched by binary search: histories are
+/// copied into every HIST_ACK and moved through the simulator on every
+/// delivery, so the contiguous layout (one allocation, cache-linear scans,
+/// O(1) moves) is the hot-path representation. The interface mirrors the
+/// std::map subset the protocol code uses; writes keep the vector sorted.
+/// Appending at the back (the writer's monotonically increasing timestamps,
+/// i.e. the common case) is amortized O(1).
+class History {
+ public:
+  using value_type = std::pair<Ts, HistEntry>;
+  using iterator = std::vector<value_type>::iterator;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  History() = default;
+  History(std::initializer_list<value_type> init) {
+    for (const auto& [ts, entry] : init) (*this)[ts] = entry;
+  }
+  /// Builds a history from a sorted slot range in one allocation (used to
+  /// ship history suffixes, Section 5.1).
+  History(const_iterator first, const_iterator last) : v_(first, last) {}
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+
+  [[nodiscard]] iterator begin() { return v_.begin(); }
+  [[nodiscard]] iterator end() { return v_.end(); }
+  [[nodiscard]] const_iterator begin() const { return v_.begin(); }
+  [[nodiscard]] const_iterator end() const { return v_.end(); }
+
+  /// First slot with timestamp >= ts.
+  [[nodiscard]] iterator lower_bound(Ts ts) {
+    return std::lower_bound(v_.begin(), v_.end(), ts, KeyLess{});
+  }
+  [[nodiscard]] const_iterator lower_bound(Ts ts) const {
+    return std::lower_bound(v_.begin(), v_.end(), ts, KeyLess{});
+  }
+
+  [[nodiscard]] iterator find(Ts ts) {
+    auto it = lower_bound(ts);
+    return (it != v_.end() && it->first == ts) ? it : v_.end();
+  }
+  [[nodiscard]] const_iterator find(Ts ts) const {
+    auto it = lower_bound(ts);
+    return (it != v_.end() && it->first == ts) ? it : v_.end();
+  }
+  [[nodiscard]] bool contains(Ts ts) const { return find(ts) != v_.end(); }
+
+  /// Entry at slot `ts`, inserted (default-constructed) if absent.
+  HistEntry& operator[](Ts ts) {
+    if (v_.empty() || ts > v_.back().first) {  // append fast path
+      v_.emplace_back(ts, HistEntry{});
+      return v_.back().second;
+    }
+    auto it = lower_bound(ts);
+    if (it != v_.end() && it->first == ts) return it->second;
+    return v_.emplace(it, ts, HistEntry{})->second;
+  }
+
+  [[nodiscard]] const HistEntry& at(Ts ts) const {
+    auto it = find(ts);
+    if (it == v_.end()) throw std::out_of_range("History::at: no such slot");
+    return it->second;
+  }
+
+  /// Inserts <ts, entry> unless the slot already exists (std::map::emplace
+  /// semantics); returns whether the insertion happened.
+  bool emplace(Ts ts, HistEntry entry) {
+    if (v_.empty() || ts > v_.back().first) {  // append fast path
+      v_.emplace_back(ts, std::move(entry));
+      return true;
+    }
+    auto it = lower_bound(ts);
+    if (it != v_.end() && it->first == ts) return false;
+    v_.emplace(it, ts, std::move(entry));
+    return true;
+  }
+
+  iterator erase(const_iterator pos) { return v_.erase(pos); }
+  /// Removes [first, last) with a single shift of the kept suffix (used by
+  /// history garbage collection to prune the oldest slots in one move).
+  iterator erase(const_iterator first, const_iterator last) {
+    return v_.erase(first, last);
+  }
+
+  friend bool operator==(const History&, const History&) = default;
+
+ private:
+  struct KeyLess {
+    bool operator()(const value_type& e, Ts ts) const { return e.first < ts; }
+  };
+
+  std::vector<value_type> v_;
+};
 
 /// Object's reply in the *regular* storage: the history (or the suffix from
 /// the reader's cached timestamp onwards, Section 5.1).

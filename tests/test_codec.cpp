@@ -152,6 +152,125 @@ TEST(CodecTest, FuzzBitFlipsOnValidMessages) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// encoded_size property test: the counting visitor must agree with the
+// materializing encoder on every one of the 24 message variants, across
+// randomized payloads (empty/huge strings, nil/full tsrarrays, histories).
+// ---------------------------------------------------------------------------
+
+Value random_value(Rng& rng) {
+  const auto len = rng.index(40);
+  Value v;
+  v.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    v.push_back(static_cast<char>(rng.uniform(0, 255)));
+  }
+  return v;
+}
+
+TsVal random_tsval(Rng& rng) {
+  return TsVal{rng.uniform(0, 1u << 20), random_value(rng)};
+}
+
+TsrRow random_tsr_row(Rng& rng) {
+  TsrRow row(rng.index(6));
+  for (auto& x : row) x = rng.uniform(0, 1000);
+  return row;
+}
+
+TsrArray random_tsrarray(Rng& rng) {
+  TsrArray arr(rng.index(5));
+  for (auto& e : arr) {
+    if (rng.chance(0.5)) e = random_tsr_row(rng);
+  }
+  return arr;
+}
+
+WTuple random_wtuple(Rng& rng) {
+  return WTuple{random_tsval(rng), random_tsrarray(rng)};
+}
+
+History random_history(Rng& rng) {
+  History h;
+  const auto slots = rng.index(8);
+  for (std::size_t i = 0; i < slots; ++i) {
+    HistEntry e;
+    if (rng.chance(0.7)) e.pw = random_tsval(rng);
+    if (rng.chance(0.7)) e.w = random_wtuple(rng);
+    h[rng.uniform(0, 50)] = std::move(e);
+  }
+  return h;
+}
+
+Message random_message(std::size_t variant, Rng& rng) {
+  const auto u8v = [&] { return static_cast<std::uint8_t>(rng.uniform(0, 255)); };
+  const auto u32v = [&] { return static_cast<std::uint32_t>(rng.uniform(0, 1u << 30)); };
+  const auto u64v = [&] { return rng.uniform(0, 1ull << 40); };
+  switch (variant) {
+    case 0: return PwMsg{u64v(), random_tsval(rng), random_wtuple(rng)};
+    case 1: return PwAckMsg{u64v(), random_tsr_row(rng)};
+    case 2: return WMsg{u64v(), random_tsval(rng), random_wtuple(rng)};
+    case 3: return WAckMsg{u64v()};
+    case 4: return ReadMsg{u8v(), u64v(), u64v()};
+    case 5: return ReadAckMsg{u8v(), u64v(), random_tsval(rng), random_wtuple(rng)};
+    case 6: return HistReadAckMsg{u8v(), u64v(), random_history(rng)};
+    case 7: return AbdStoreMsg{u64v(), random_tsval(rng)};
+    case 8: return AbdStoreAckMsg{u64v()};
+    case 9: return AbdQueryMsg{u64v()};
+    case 10: return AbdQueryAckMsg{u64v(), random_tsval(rng)};
+    case 11: return BlWriteMsg{u8v(), u64v(), random_value(rng)};
+    case 12: return BlWriteAckMsg{u8v(), u64v()};
+    case 13: return FwWriteMsg{u64v(), random_value(rng)};
+    case 14: return FwWriteAckMsg{u64v()};
+    case 15: return PollMsg{u64v(), u32v()};
+    case 16: return PollAckMsg{u64v(), u32v(), random_tsval(rng), random_tsval(rng)};
+    case 17: return AuthWriteMsg{u64v(), random_value(rng), random_value(rng)};
+    case 18: return AuthWriteAckMsg{u64v()};
+    case 19: return AuthReadMsg{u64v()};
+    case 20: return AuthReadAckMsg{u64v(), u64v(), random_value(rng), random_value(rng)};
+    case 21: return ScReadMsg{u64v()};
+    case 22: return ScPushMsg{u64v(), u32v(), random_tsval(rng), random_tsval(rng)};
+    case 23: return ScGossipMsg{u64v(), random_tsval(rng), random_tsval(rng)};
+    default: break;
+  }
+  return WAckMsg{0};
+}
+
+TEST(CodecTest, EncodedSizePropertyAllVariants) {
+  static_assert(std::variant_size_v<Message> == 24);
+  Rng rng(424242);
+  for (std::size_t variant = 0; variant < std::variant_size_v<Message>;
+       ++variant) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const Message msg = random_message(variant, rng);
+      ASSERT_EQ(msg.index(), variant);
+      const std::string bytes = encode(msg);
+      EXPECT_EQ(encoded_size(msg), bytes.size())
+          << type_name(msg) << " iter " << iter;
+      // The counting visitor must not drift from the decoder either.
+      const auto decoded = decode(bytes);
+      ASSERT_TRUE(decoded.has_value()) << type_name(msg);
+      EXPECT_EQ(*decoded, msg) << type_name(msg);
+    }
+  }
+}
+
+TEST(CodecTest, EncodedSizeOfDegenerateShapes) {
+  // Empty history, empty strings, all-nil tsrarray, and a large history.
+  History empty;
+  EXPECT_EQ(encoded_size(Message{HistReadAckMsg{1, 0, empty}}),
+            encode(Message{HistReadAckMsg{1, 0, empty}}).size());
+  History big;
+  for (Ts k = 0; k < 200; ++k) {
+    big[k] = HistEntry{TsVal{k, std::string(100, 'x')},
+                       WTuple{TsVal{k, ""}, init_tsrarray(8)}};
+  }
+  const Message m = HistReadAckMsg{2, 9, big};
+  EXPECT_EQ(encoded_size(m), encode(m).size());
+  const Message auth = AuthWriteMsg{1, "", ""};
+  EXPECT_EQ(encoded_size(auth), encode(auth).size());
+}
+
 TEST(CodecTest, HistoryAckSizeGrowsLinearly) {
   // Byte accounting underpins the Section 5.1 experiment: verify the size
   // of a history ack is linear in the number of slots.
