@@ -12,6 +12,7 @@
 #include "harness/workload.hpp"
 #include "objects/regular_object.hpp"
 #include "wire/codec.hpp"
+#include "sim/world.hpp"
 
 namespace {
 

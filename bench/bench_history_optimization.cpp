@@ -11,6 +11,7 @@
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
 #include "wire/codec.hpp"
+#include "sim/world.hpp"
 
 namespace {
 

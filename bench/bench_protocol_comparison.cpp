@@ -4,11 +4,24 @@
 // the comparison the paper's introduction and related-work discussion draw
 // between [3] (ABD), [1] (polling reads / fast writes), [15] (authenticated)
 // and the paper's own 2-round algorithm.
+//
+// Beyond the DES table, the bench sweeps every registered protocol on each
+// execution backend (discrete-event simulator and threaded cluster) and
+// emits BENCH_protocol_comparison.json with events/s and ops/s per protocol
+// per backend, so the perf trajectory covers both substrates.
+//
+//   --backend=des|threads|both   restrict the sweep (default both)
+//   --quick                      smaller op budget (CI smoke mode)
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "harness/deployment.hpp"
+#include "harness/protocol.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
 
@@ -48,18 +61,13 @@ void print_comparison() {
        "writer signatures (HMAC)"},
   };
   for (const auto& row : rows) {
+    const auto& traits = harness::protocol_traits(row.protocol);
     harness::MixedWorkloadStats stats;
     int violations = 0;
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
       harness::DeploymentOptions opts;
       opts.protocol = row.protocol;
-      if (row.protocol == harness::Protocol::Abd) {
-        opts.res = Resilience{2 * row.t + 1, row.t, 0, 2};
-      } else if (row.protocol == harness::Protocol::FastWrite) {
-        opts.res = Resilience{2 * row.t + 2 * row.b + 1, row.t, row.b, 2};
-      } else {
-        opts.res = Resilience::optimal(row.t, row.b, 2);
-      }
+      opts.res = traits.resilience_for(row.t, row.b, 2);
       opts.seed = seed * 6029;
       opts.delay = harness::DelayKind::Uniform;
       opts.delay_lo = 1'000;
@@ -72,15 +80,11 @@ void print_comparison() {
       d.run();
       violations += static_cast<int>(d.check().violations.size());
     }
-    const int S = row.protocol == harness::Protocol::Abd
-                      ? 2 * row.t + 1
-                      : (row.protocol == harness::Protocol::FastWrite
-                             ? 2 * row.t + 2 * row.b + 1
-                             : 2 * row.t + row.b + 1);
+    const int S = traits.resilience_for(row.t, row.b, 2).num_objects;
     char tol[32];
     std::snprintf(tol, sizeof(tol), "t=%d b=%d", row.t,
                   row.protocol == harness::Protocol::Abd ? 0 : row.b);
-    table.add_row(harness::to_string(row.protocol), S, tol, row.semantics,
+    table.add_row(traits.name, S, tol, row.semantics,
                   stats.writes.rounds_max(), stats.reads.rounds_max(),
                   stats.reads.latency_p50() / 1000.0,
                   stats.reads.latency_p99() / 1000.0,
@@ -94,15 +98,114 @@ void print_comparison() {
       "(fastwrite, S=2t+2b+1) or cryptography (auth).\n\n");
 }
 
+// ---------------------------------------------------------------------------
+// Cross-backend throughput sweep + JSON
+// ---------------------------------------------------------------------------
+
+struct SweepResult {
+  const char* protocol;
+  const char* backend;
+  std::uint64_t ops;
+  std::uint64_t events;
+  double wall_ms;
+  double ops_per_s;
+  double events_per_s;
+  bool check_ok;
+};
+
+SweepResult run_one(const harness::ProtocolTraits& traits,
+                    harness::BackendKind backend, int ops_budget) {
+  harness::DeploymentOptions opts;
+  opts.protocol = traits.id;
+  opts.backend = backend;
+  opts.res = traits.resilience_for(2, 2, 2);
+  opts.seed = 1;
+  harness::Deployment d(opts);
+  harness::MixedWorkloadOptions w;
+  w.writes = ops_budget;
+  w.reads_per_reader = ops_budget;
+  // Time from before scheduling: on the threads backend execution starts
+  // the moment closures are posted, so starting the clock after
+  // mixed_workload() would flatter the threads rows relative to the DES
+  // (where nothing runs until d.run()). Scheduling cost on the DES is
+  // negligible.
+  const auto t0 = std::chrono::steady_clock::now();
+  harness::mixed_workload(d, w);
+  const std::uint64_t events = d.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  std::uint64_t ops = 0;
+  for (int s = 0; s < d.shards(); ++s) {
+    for (const auto& op : d.log(s).snapshot()) {
+      if (op.complete) ++ops;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(t1 - t0).count();
+  SweepResult r;
+  r.protocol = traits.name;
+  r.backend = harness::to_string(backend);
+  r.ops = ops;
+  r.events = events;
+  r.wall_ms = wall_s * 1e3;
+  r.ops_per_s = wall_s > 0 ? static_cast<double>(ops) / wall_s : 0.0;
+  r.events_per_s = wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  r.check_ok = d.check().ok();
+  return r;
+}
+
+void run_sweep(const std::vector<harness::BackendKind>& backends, bool quick) {
+  const int ops_budget = quick ? 10 : 50;
+  std::vector<SweepResult> results;
+  for (const auto& traits : harness::protocol_registry()) {
+    for (const auto backend : backends) {
+      results.push_back(run_one(traits, backend, ops_budget));
+    }
+  }
+
+  std::printf("=== protocol x backend throughput (%d writes + 2x%d reads "
+              "each) ===\n",
+              ops_budget, ops_budget);
+  harness::Table table({"protocol", "backend", "ops", "events-or-msgs",
+                        "wall ms", "ops/s", "events/s", "check"});
+  for (const auto& r : results) {
+    table.add_row(r.protocol, r.backend, r.ops, r.events, r.wall_ms,
+                  r.ops_per_s, r.events_per_s, r.check_ok ? "OK" : "FAIL");
+  }
+  table.print();
+
+  FILE* out = std::fopen("BENCH_protocol_comparison.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_protocol_comparison.json\n");
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"protocol_comparison\",\n");
+  std::fprintf(out, "  \"ops_budget\": %d,\n  \"results\": [\n", ops_budget);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"protocol\": \"%s\", \"backend\": \"%s\", "
+                 "\"ops\": %llu, \"events\": %llu, \"wall_ms\": %.3f, "
+                 "\"ops_per_s\": %.1f, \"events_per_s\": %.1f, "
+                 "\"check_ok\": %s}%s\n",
+                 r.protocol, r.backend,
+                 static_cast<unsigned long long>(r.ops),
+                 static_cast<unsigned long long>(r.events), r.wall_ms,
+                 r.ops_per_s, r.events_per_s, r.check_ok ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_protocol_comparison.json\n\n");
+}
+
 void BM_EndToEnd(benchmark::State& state) {
   const auto protocol = static_cast<harness::Protocol>(state.range(0));
+  const auto backend = static_cast<harness::BackendKind>(state.range(1));
+  const auto& traits = harness::protocol_traits(protocol);
   harness::DeploymentOptions opts;
   opts.protocol = protocol;
-  opts.res = protocol == harness::Protocol::Abd
-                 ? Resilience{5, 2, 0, 1}
-                 : (protocol == harness::Protocol::FastWrite
-                        ? Resilience{9, 2, 2, 1}
-                        : Resilience::optimal(2, 2, 1));
+  opts.backend = backend;
+  opts.res = traits.resilience_for(2, 2, 1);
   for (auto _ : state) {
     harness::Deployment d(opts);
     harness::MixedWorkloadOptions w;
@@ -112,21 +215,50 @@ void BM_EndToEnd(benchmark::State& state) {
     const auto events = d.run();
     benchmark::DoNotOptimize(events);
   }
-  state.SetLabel(harness::to_string(protocol));
+  state.SetLabel(std::string(traits.name) + "/" +
+                 harness::to_string(backend));
 }
 BENCHMARK(BM_EndToEnd)
-    ->Arg(static_cast<int>(harness::Protocol::Safe))
-    ->Arg(static_cast<int>(harness::Protocol::Regular))
-    ->Arg(static_cast<int>(harness::Protocol::Abd))
-    ->Arg(static_cast<int>(harness::Protocol::Polling))
-    ->Arg(static_cast<int>(harness::Protocol::FastWrite))
-    ->Arg(static_cast<int>(harness::Protocol::Auth));
+    ->ArgsProduct({{static_cast<int>(harness::Protocol::Safe),
+                    static_cast<int>(harness::Protocol::Regular),
+                    static_cast<int>(harness::Protocol::Abd),
+                    static_cast<int>(harness::Protocol::Polling),
+                    static_cast<int>(harness::Protocol::FastWrite),
+                    static_cast<int>(harness::Protocol::Auth)},
+                   {static_cast<int>(harness::BackendKind::Sim),
+                    static_cast<int>(harness::BackendKind::Threads)}});
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<harness::BackendKind> backends = {
+      harness::BackendKind::Sim, harness::BackendKind::Threads};
+  bool quick = false;
+  // Strip our flags before google-benchmark sees the command line.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      const std::string which = argv[i] + 10;
+      if (which == "both") {
+        // keep default
+      } else if (const auto kind = harness::backend_from_name(which)) {
+        backends = {*kind};
+      } else {
+        std::fprintf(stderr, "unknown backend '%s' (des|threads|both)\n",
+                     which.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
   print_comparison();
-  benchmark::Initialize(&argc, argv);
+  run_sweep(backends, quick);
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "harness/deployment.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "sim/world.hpp"
 
 namespace {
 

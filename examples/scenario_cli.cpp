@@ -1,12 +1,15 @@
-// Scenario CLI: drive any protocol deployment from the command line.
+// Scenario CLI: drive any protocol deployment from the command line, on
+// either execution backend, with any number of register shards.
 //
 //   $ ./example_scenario_cli --protocol=safe --t=2 --b=2 --readers=3 \
 //       --byzantine=forger --crashes=0 --writes=20 --reads=20 \
-//       --chaos --seed=42
+//       --backend=threads --shards=4 --chaos --seed=42
 //
 // Prints the run's operation log summary, round counts, network statistics
-// and the consistency verdict. Useful for poking at corner configurations
-// without writing a test.
+// and the per-shard consistency verdict. Useful for poking at corner
+// configurations without writing a test. The protocol list comes from the
+// protocol-traits registry, so newly registered protocols show up here
+// automatically.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +17,7 @@
 
 #include "harness/chaos.hpp"
 #include "harness/deployment.hpp"
+#include "harness/protocol.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
 #include "wire/messages.hpp"
@@ -22,11 +26,22 @@ namespace {
 
 using namespace rr;
 
+std::string protocol_list() {
+  std::string out;
+  for (const auto& traits : harness::protocol_registry()) {
+    if (!out.empty()) out += "|";
+    out += traits.cli_name;
+  }
+  return out;
+}
+
 struct Args {
   std::string protocol = "safe";
+  std::string backend = "des";
   int t = 2;
   int b = 1;
   int readers = 2;
+  int shards = 1;
   std::string byzantine = "";  // strategy name, empty = none
   int byz_count = -1;          // default: full budget b when strategy given
   int crashes = 0;
@@ -46,9 +61,11 @@ struct Args {
         return std::nullopt;
       };
       if (auto v = value("protocol")) a.protocol = *v;
+      else if (auto v1 = value("backend")) a.backend = *v1;
       else if (auto v2 = value("t")) a.t = std::atoi(v2->c_str());
       else if (auto v3 = value("b")) a.b = std::atoi(v3->c_str());
       else if (auto v4 = value("readers")) a.readers = std::atoi(v4->c_str());
+      else if (auto vs = value("shards")) a.shards = std::atoi(vs->c_str());
       else if (auto v5 = value("byzantine")) a.byzantine = *v5;
       else if (auto v6 = value("byz-count")) a.byz_count = std::atoi(v6->c_str());
       else if (auto v7 = value("crashes")) a.crashes = std::atoi(v7->c_str());
@@ -70,28 +87,17 @@ struct Args {
   }
 };
 
-harness::Protocol protocol_from(const std::string& name) {
-  if (name == "safe") return harness::Protocol::Safe;
-  if (name == "regular") return harness::Protocol::Regular;
-  if (name == "regular-opt") return harness::Protocol::RegularOptimized;
-  if (name == "abd") return harness::Protocol::Abd;
-  if (name == "polling") return harness::Protocol::Polling;
-  if (name == "fastwrite") return harness::Protocol::FastWrite;
-  if (name == "auth") return harness::Protocol::Auth;
-  std::fprintf(stderr, "unknown protocol '%s', using safe\n", name.c_str());
-  return harness::Protocol::Safe;
-}
-
 void usage() {
   std::printf(
-      "usage: example_scenario_cli [--protocol=safe|regular|regular-opt|abd|"
-      "polling|fastwrite|auth]\n"
+      "usage: example_scenario_cli [--protocol=%s]\n"
+      "  [--backend=des|threads] [--shards=K]\n"
       "  [--t=N] [--b=N] [--readers=N] [--byzantine=STRATEGY] "
       "[--byz-count=N]\n"
       "  [--crashes=N] [--writes=N] [--reads=N] [--history-limit=N] "
       "[--chaos] [--seed=N]\n"
       "strategies: silent amnesiac forger accuser equivocator stagger "
-      "collude random\n");
+      "collude random\n",
+      protocol_list().c_str());
 }
 
 }  // namespace
@@ -104,15 +110,29 @@ int main(int argc, char** argv) {
   }
   const Args& a = *parsed;
 
-  harness::DeploymentOptions opts;
-  opts.protocol = protocol_from(a.protocol);
-  if (opts.protocol == harness::Protocol::Abd) {
-    opts.res = Resilience{2 * a.t + 1, a.t, 0, a.readers};
-  } else if (opts.protocol == harness::Protocol::FastWrite) {
-    opts.res = Resilience{2 * a.t + 2 * a.b + 1, a.t, a.b, a.readers};
-  } else {
-    opts.res = Resilience::optimal(a.t, a.b, a.readers);
+  const auto protocol = harness::protocol_from_name(a.protocol);
+  if (!protocol) {
+    std::fprintf(stderr, "unknown protocol '%s' (known: %s)\n",
+                 a.protocol.c_str(), protocol_list().c_str());
+    return 2;
   }
+  const auto backend = harness::backend_from_name(a.backend);
+  if (!backend) {
+    std::fprintf(stderr, "unknown backend '%s' (known: des, threads)\n",
+                 a.backend.c_str());
+    return 2;
+  }
+  if (a.shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+
+  const auto& traits = harness::protocol_traits(*protocol);
+  harness::DeploymentOptions opts;
+  opts.protocol = *protocol;
+  opts.backend = *backend;
+  opts.shards = a.shards;
+  opts.res = traits.resilience_for(a.t, a.b, a.readers);
   opts.seed = a.seed;
   opts.history_limit = a.history_limit;
   int byz = 0;
@@ -124,8 +144,10 @@ int main(int argc, char** argv) {
     opts.faults = harness::FaultPlan::crash_only(a.crashes);
   }
 
-  std::printf("deploying %s: S=%d t=%d b=%d readers=%d", a.protocol.c_str(),
-              opts.res.num_objects, opts.res.t, opts.res.b, a.readers);
+  std::printf("deploying %s on %s: S=%d t=%d b=%d readers=%d shards=%d",
+              traits.name, harness::to_string(*backend),
+              opts.res.num_objects, opts.res.t, opts.res.b, a.readers,
+              a.shards);
   if (byz > 0) std::printf(", %d x %s", byz, a.byzantine.c_str());
   if (a.crashes > 0) std::printf(", %d crashed", a.crashes);
   if (a.chaos) std::printf(", chaos on");
@@ -158,7 +180,7 @@ int main(int argc, char** argv) {
                 stats.reads.latency_p99() / 1000.0);
   table.print();
 
-  const auto& net = d.world().stats();
+  const auto net = d.stats();
   std::printf("network: %llu msgs (%llu bytes) sent, %llu delivered, %llu "
               "dropped; %llu events\n",
               static_cast<unsigned long long>(net.messages_sent),
@@ -168,12 +190,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(events));
 
   int incomplete = 0;
-  for (const auto& op : d.log().snapshot()) {
-    if (!op.complete) ++incomplete;
+  for (int s = 0; s < d.shards(); ++s) {
+    for (const auto& op : d.log(s).snapshot()) {
+      if (!op.complete) ++incomplete;
+    }
   }
   const auto report = d.check();
-  std::printf("consistency (%s): %s; %d reads pinned, %d ops stuck\n",
-              a.protocol.c_str(),
+  std::printf("consistency (%s, %d shard%s): %s; %d reads pinned, %d ops "
+              "stuck\n",
+              traits.name, d.shards(), d.shards() == 1 ? "" : "s",
               report.ok() ? "OK" : "VIOLATED", report.reads_checked,
               incomplete);
   if (!report.ok()) {

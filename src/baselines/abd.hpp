@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "net/process.hpp"
 
@@ -32,11 +33,11 @@ class AbdObject : public net::Process {
   TsVal tsval_{TsVal::bottom()};
 };
 
-class AbdWriter : public net::Process {
+class AbdWriter : public core::WriterClient {
  public:
   AbdWriter(const Resilience& res, const Topology& topo);
 
-  void write(net::Context& ctx, Value v, core::WriteCallback cb);
+  void write(net::Context& ctx, Value v, core::WriteCallback cb) override;
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
 
@@ -54,11 +55,11 @@ class AbdWriter : public net::Process {
   Time invoked_at_{0};
 };
 
-class AbdReader : public net::Process {
+class AbdReader : public core::ReaderClient {
  public:
   AbdReader(const Resilience& res, const Topology& topo, int reader_index);
 
-  void read(net::Context& ctx, core::ReadCallback cb);
+  void read(net::Context& ctx, core::ReadCallback cb) override;
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "crypto/sha256.hpp"
 #include "net/process.hpp"
@@ -56,11 +57,11 @@ class AuthObject : public net::Process {
 };
 
 /// 1-round writer.
-class AuthWriter : public net::Process {
+class AuthWriter : public core::WriterClient {
  public:
   AuthWriter(const Resilience& res, const Topology& topo, std::string key);
 
-  void write(net::Context& ctx, Value v, core::WriteCallback cb);
+  void write(net::Context& ctx, Value v, core::WriteCallback cb) override;
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
 
@@ -79,12 +80,12 @@ class AuthWriter : public net::Process {
 };
 
 /// 1-round reader: highest validly-MACed pair among S - t replies.
-class AuthReader : public net::Process {
+class AuthReader : public core::ReaderClient {
  public:
   AuthReader(const Resilience& res, const Topology& topo, int reader_index,
              std::string key);
 
-  void read(net::Context& ctx, core::ReadCallback cb);
+  void read(net::Context& ctx, core::ReadCallback cb) override;
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
 

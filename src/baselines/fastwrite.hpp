@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "net/process.hpp"
 
@@ -17,11 +18,11 @@ namespace rr::baselines {
 
 /// One-round writer over PollObject replicas (FwWriteMsg installs pw and w
 /// atomically). Requires res.num_objects >= 2t+2b+1 for reads to stay safe.
-class FastWriter : public net::Process {
+class FastWriter : public core::WriterClient {
  public:
   FastWriter(const Resilience& res, const Topology& topo);
 
-  void write(net::Context& ctx, Value v, core::WriteCallback cb);
+  void write(net::Context& ctx, Value v, core::WriteCallback cb) override;
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
 

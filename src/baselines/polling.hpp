@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "net/process.hpp"
 
@@ -57,11 +58,11 @@ class PollObject : public net::Process {
 };
 
 /// Two-phase writer (pre-write to S-t, then write to S-t): 2 rounds.
-class PollingWriter : public net::Process {
+class PollingWriter : public core::WriterClient {
  public:
   PollingWriter(const Resilience& res, const Topology& topo);
 
-  void write(net::Context& ctx, Value v, core::WriteCallback cb);
+  void write(net::Context& ctx, Value v, core::WriteCallback cb) override;
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
 
@@ -80,11 +81,11 @@ class PollingWriter : public net::Process {
 };
 
 /// Read-only poller with the evidence-based decision rule above.
-class PollingReader : public net::Process {
+class PollingReader : public core::ReaderClient {
  public:
   PollingReader(const Resilience& res, const Topology& topo, int reader_index);
 
-  void read(net::Context& ctx, core::ReadCallback cb);
+  void read(net::Context& ctx, core::ReadCallback cb) override;
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
 

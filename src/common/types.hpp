@@ -23,6 +23,12 @@ using ReaderTs = std::uint64_t;
 /// Virtual time in nanoseconds (discrete-event simulator clock).
 using Time = std::uint64_t;
 
+/// Identifies one register instance in a sharded deployment. A classic
+/// single-register emulation is shard 0 of a 1-shard deployment; sharded
+/// deployments host K independent SWMR registers over the same base
+/// objects, each with its own writer and reader set.
+using RegisterId = std::uint32_t;
+
 /// Opaque register contents. The initial register value ("bottom", the paper's
 /// special value that is not a valid WRITE input) is represented by the empty
 /// payload at timestamp 0; see TsVal::is_bottom().

@@ -1,0 +1,31 @@
+// Protocol-agnostic client automaton interfaces.
+//
+// Every protocol family in the library exposes the same two client
+// operations -- WRITE(v) by the single writer, READ() by a reader -- so the
+// harness (Deployment, workloads, the sharding adapters) can drive any
+// protocol through these interfaces without knowing the concrete automaton
+// type. Invoking an operation is itself a step of the client automaton: it
+// runs inside a Context (under either backend) and the callback fires from
+// within the automaton step that completes the operation.
+#pragma once
+
+#include "core/client_types.hpp"
+#include "net/process.hpp"
+
+namespace rr::core {
+
+/// A writer automaton of some protocol: net::Process plus the WRITE
+/// invocation. One operation at a time (Section 2.2).
+class WriterClient : public net::Process {
+ public:
+  virtual void write(net::Context& ctx, Value v, WriteCallback cb) = 0;
+};
+
+/// A reader automaton of some protocol: net::Process plus the READ
+/// invocation. One operation at a time per reader (Section 2.2).
+class ReaderClient : public net::Process {
+ public:
+  virtual void read(net::Context& ctx, ReadCallback cb) = 0;
+};
+
+}  // namespace rr::core

@@ -16,18 +16,19 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "net/process.hpp"
 #include "wire/messages.hpp"
 
 namespace rr::core {
 
-class RegularReader : public net::Process {
+class RegularReader : public ReaderClient {
  public:
   RegularReader(const Resilience& res, const Topology& topo, int reader_index,
                 bool optimized);
 
-  void read(net::Context& ctx, ReadCallback cb);
+  void read(net::Context& ctx, ReadCallback cb) override;
 
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;

@@ -22,17 +22,18 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "net/process.hpp"
 
 namespace rr::core {
 
-class SafeReader : public net::Process {
+class SafeReader : public ReaderClient {
  public:
   SafeReader(const Resilience& res, const Topology& topo, int reader_index);
 
   /// Invokes READ(). One operation at a time per client.
-  void read(net::Context& ctx, ReadCallback cb);
+  void read(net::Context& ctx, ReadCallback cb) override;
 
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;

@@ -16,19 +16,20 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "net/process.hpp"
 
 namespace rr::core {
 
-class Writer : public net::Process {
+class Writer : public WriterClient {
  public:
   Writer(const Resilience& res, const Topology& topo);
 
   /// Invokes WRITE(v). Must not be called while a write is in progress
   /// (clients invoke one operation at a time, Section 2.2). `cb` fires from
   /// within the automaton step that completes the write.
-  void write(net::Context& ctx, Value v, WriteCallback cb);
+  void write(net::Context& ctx, Value v, WriteCallback cb) override;
 
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;

@@ -1,0 +1,157 @@
+#include "harness/backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/world.hpp"
+
+namespace rr::harness {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::Sim: return "des";
+    case BackendKind::Threads: return "threads";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> backend_from_name(std::string_view name) {
+  if (name == "des" || name == "sim") return BackendKind::Sim;
+  if (name == "threads" || name == "thread") return BackendKind::Threads;
+  return std::nullopt;
+}
+
+namespace {
+
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(const BackendConfig& cfg) {
+    sim::WorldOptions wopts;
+    wopts.seed = cfg.seed;
+    wopts.reserialize = cfg.reserialize;
+    world_ = std::make_unique<sim::World>(wopts);
+    switch (cfg.delay) {
+      case DelayKind::Fixed:
+        world_->set_delay_model(std::make_unique<sim::FixedDelay>(cfg.delay_lo));
+        break;
+      case DelayKind::Uniform:
+        world_->set_delay_model(
+            std::make_unique<sim::UniformDelay>(cfg.delay_lo, cfg.delay_hi));
+        break;
+      case DelayKind::HeavyTail:
+        world_->set_delay_model(std::make_unique<sim::HeavyTailDelay>(
+            cfg.delay_lo, cfg.delay_hi, 0.05));
+        break;
+    }
+  }
+
+  ProcessId add_process(std::unique_ptr<net::Process> p) override {
+    return world_->add_process(std::move(p));
+  }
+  void start() override { world_->start(); }
+  void post(Time at, ProcessId pid,
+            std::function<void(net::Context&)> fn) override {
+    world_->post(std::max(at, world_->now()), pid, std::move(fn));
+  }
+  std::uint64_t run() override { return world_->run(); }
+  [[nodiscard]] Time now() const override { return world_->now(); }
+
+  void crash(ProcessId pid) override { world_->crash(pid); }
+  void hold(ProcessId from, ProcessId to) override { world_->hold(from, to); }
+  void release(ProcessId from, ProcessId to) override {
+    world_->release(from, to);
+  }
+  void hold_all(ProcessId pid) override { world_->hold_all(pid); }
+  void release_all(ProcessId pid) override { world_->release_all(pid); }
+
+  [[nodiscard]] net::NetStats stats() const override {
+    return world_->stats();
+  }
+  [[nodiscard]] net::Process& process(ProcessId pid) override {
+    return world_->process(pid);
+  }
+  [[nodiscard]] const char* name() const override {
+    return to_string(BackendKind::Sim);
+  }
+  [[nodiscard]] sim::World* world() override { return world_.get(); }
+
+ private:
+  std::unique_ptr<sim::World> world_;
+};
+
+class ThreadBackend final : public Backend {
+ public:
+  explicit ThreadBackend(const BackendConfig& cfg)
+      : run_timeout_(cfg.run_timeout_ms) {
+    runtime::ClusterOptions copts;
+    copts.seed = cfg.seed;
+    copts.max_jitter_us = cfg.max_jitter_us;
+    copts.reserialize = cfg.reserialize;
+    cluster_ = std::make_unique<runtime::Cluster>(copts);
+  }
+
+  ProcessId add_process(std::unique_ptr<net::Process> p) override {
+    // Every harness-managed process is active: clients need their own
+    // mailbox thread so posted invocations and completion callbacks run as
+    // automaton steps, exactly as under the DES.
+    return cluster_->add(std::move(p), /*active=*/true);
+  }
+  void start() override { cluster_->start(); }
+  void post(Time at, ProcessId pid,
+            std::function<void(net::Context&)> fn) override {
+    cluster_->post(at, pid, std::move(fn));
+  }
+  std::uint64_t run() override {
+    const std::uint64_t before = cluster_->messages_delivered();
+    const bool quiesced = cluster_->run_quiescent(
+        std::chrono::milliseconds(run_timeout_));
+    RR_ASSERT_MSG(quiesced,
+                  "thread backend failed to quiesce: livelock or a fault "
+                  "plan exceeding the resilience budget");
+    return cluster_->messages_delivered() - before;
+  }
+  [[nodiscard]] Time now() const override { return cluster_->now(); }
+
+  void crash(ProcessId pid) override { cluster_->crash(pid); }
+  void hold(ProcessId from, ProcessId to) override {
+    cluster_->hold(from, to);
+  }
+  void release(ProcessId from, ProcessId to) override {
+    cluster_->release(from, to);
+  }
+  void hold_all(ProcessId pid) override { cluster_->hold_all(pid); }
+  void release_all(ProcessId pid) override { cluster_->release_all(pid); }
+
+  [[nodiscard]] net::NetStats stats() const override {
+    return cluster_->stats();
+  }
+  [[nodiscard]] net::Process& process(ProcessId pid) override {
+    return cluster_->process(pid);
+  }
+  [[nodiscard]] const char* name() const override {
+    return to_string(BackendKind::Threads);
+  }
+  [[nodiscard]] runtime::Cluster* cluster() override {
+    return cluster_.get();
+  }
+
+ private:
+  std::unique_ptr<runtime::Cluster> cluster_;
+  std::uint64_t run_timeout_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      const BackendConfig& cfg) {
+  switch (kind) {
+    case BackendKind::Sim: return std::make_unique<SimBackend>(cfg);
+    case BackendKind::Threads: return std::make_unique<ThreadBackend>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace rr::harness

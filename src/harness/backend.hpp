@@ -1,0 +1,106 @@
+// Execution backends: one interface over the discrete-event simulator and
+// the threaded cluster.
+//
+// The paper's computation model (Section 2.1, steps <p, M>) is runtime-
+// agnostic, and so are the automata (net::Process). A Backend is everything
+// a harness needs from the runtime beneath those automata: registering
+// processes, scheduling operation invocations as timed closure steps,
+// running to quiescence, fault injection (crashes, held channels), a clock,
+// and traffic statistics. Deployment, the workloads, chaos injection and
+// the history checker are written against this interface, so every
+// protocol x fault-plan x workload scenario runs identically under the DES
+// (deterministic, virtual time) and under real threads (wall-clock time,
+// genuine concurrency) -- one flag flips the substrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "net/process.hpp"
+#include "net/stats.hpp"
+
+namespace rr::sim {
+class World;
+}
+namespace rr::runtime {
+class Cluster;
+}
+
+namespace rr::harness {
+
+enum class BackendKind {
+  Sim,      ///< deterministic discrete-event simulator (sim::World)
+  Threads,  ///< real threads with mailbox queues (runtime::Cluster)
+};
+
+[[nodiscard]] const char* to_string(BackendKind k);
+[[nodiscard]] std::optional<BackendKind> backend_from_name(
+    std::string_view name);
+
+enum class DelayKind { Fixed, Uniform, HeavyTail };
+
+/// Backend-neutral runtime configuration.
+struct BackendConfig {
+  std::uint64_t seed{1};
+  bool reserialize{false};  ///< round-trip every message through the codec
+
+  // DES only: the channel delay model.
+  DelayKind delay{DelayKind::Uniform};
+  Time delay_lo{1'000};
+  Time delay_hi{10'000};
+
+  // Threads only: artificial delivery jitter (microseconds) and the bound
+  // on one run-to-quiescence (a wait-free run only exceeds it on livelock).
+  std::uint32_t max_jitter_us{0};
+  std::uint64_t run_timeout_ms{120'000};
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Registers a process; ids are assigned densely in registration order.
+  virtual ProcessId add_process(std::unique_ptr<net::Process> p) = 0;
+
+  /// Calls on_start on every process; threads spin up here.
+  virtual void start() = 0;
+
+  /// Schedules `fn` to run as a step of process `pid` at time `at` on the
+  /// backend clock (times in the past run as soon as possible).
+  virtual void post(Time at, ProcessId pid,
+                    std::function<void(net::Context&)> fn) = 0;
+
+  /// Runs until no work remains (messages buffered on held channels do not
+  /// count). Returns events executed / messages delivered by this run.
+  virtual std::uint64_t run() = 0;
+
+  /// Current time on the backend clock (virtual ns for the DES, wall-clock
+  /// ns since construction for threads).
+  [[nodiscard]] virtual Time now() const = 0;
+
+  // Fault injection (same semantics on both substrates).
+  virtual void crash(ProcessId pid) = 0;
+  virtual void hold(ProcessId from, ProcessId to) = 0;
+  virtual void release(ProcessId from, ProcessId to) = 0;
+  virtual void hold_all(ProcessId pid) = 0;
+  virtual void release_all(ProcessId pid) = 0;
+
+  [[nodiscard]] virtual net::NetStats stats() const = 0;
+  [[nodiscard]] virtual net::Process& process(ProcessId pid) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Escape hatches for substrate-specific tests and tools; null when the
+  /// backend is not of that kind.
+  [[nodiscard]] virtual sim::World* world() { return nullptr; }
+  [[nodiscard]] virtual runtime::Cluster* cluster() { return nullptr; }
+};
+
+/// Builds a backend of `kind` from the neutral configuration.
+[[nodiscard]] std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                                    const BackendConfig& cfg);
+
+}  // namespace rr::harness

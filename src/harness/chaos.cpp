@@ -11,9 +11,11 @@ namespace {
 
 struct ChaosState {
   Rng rng;
+  Time deadline;          ///< absolute backend time to stop injecting
   std::vector<int> held;  ///< currently held object indices
 
-  explicit ChaosState(std::uint64_t seed) : rng(seed) {}
+  ChaosState(std::uint64_t seed, Time deadline_at)
+      : rng(seed), deadline(deadline_at) {}
 };
 
 void schedule_wave(Deployment& d, const ChaosOptions& opts,
@@ -21,11 +23,11 @@ void schedule_wave(Deployment& d, const ChaosOptions& opts,
 
 void release_wave(Deployment& d, const ChaosOptions& opts,
                   const std::shared_ptr<ChaosState>& st, Time at) {
-  // Releases run as steps of the writer process purely for scheduling; they
-  // touch only the world's channel state.
-  d.world().post(at, d.writer_pid(), [&d, opts, st](net::Context& ctx) {
+  // Releases run as steps of the shard-0 writer purely for scheduling; they
+  // touch only the backend's channel state.
+  d.backend().post(at, d.writer_pid(), [&d, opts, st](net::Context& ctx) {
     for (const int i : st->held) {
-      d.world().release_all(d.object_pid(i));
+      d.backend().release_all(d.object_pid(i));
     }
     st->held.clear();
     schedule_wave(d, opts, st, ctx.now() + opts.gap);
@@ -34,8 +36,8 @@ void release_wave(Deployment& d, const ChaosOptions& opts,
 
 void schedule_wave(Deployment& d, const ChaosOptions& opts,
                    const std::shared_ptr<ChaosState>& st, Time at) {
-  if (at > opts.horizon) return;
-  d.world().post(at, d.writer_pid(), [&d, opts, st](net::Context& ctx) {
+  if (at > st->deadline) return;
+  d.backend().post(at, d.writer_pid(), [&d, opts, st](net::Context& ctx) {
     // Pick a fresh random subset of objects to isolate.
     const int S = d.res().num_objects;
     const int count =
@@ -50,7 +52,7 @@ void schedule_wave(Deployment& d, const ChaosOptions& opts,
       }
     }
     for (const int i : st->held) {
-      d.world().hold_all(d.object_pid(i));
+      d.backend().hold_all(d.object_pid(i));
     }
     release_wave(d, opts, st, ctx.now() + opts.hold_duration);
   });
@@ -62,8 +64,9 @@ void inject_chaos(Deployment& d, const ChaosOptions& opts) {
   RR_ASSERT_MSG(opts.max_held + d.options().faults.total_faulty() <=
                     d.res().t,
                 "held + faulty objects must stay within the budget t");
-  auto st = std::make_shared<ChaosState>(opts.seed);
-  schedule_wave(d, opts, st, opts.start);
+  const Time base = d.now();
+  auto st = std::make_shared<ChaosState>(opts.seed, base + opts.horizon);
+  schedule_wave(d, opts, st, base + opts.start);
 }
 
 }  // namespace rr::harness

@@ -1,48 +1,17 @@
 #include "harness/deployment.hpp"
 
+#include <type_traits>
 #include <utility>
 
-#include "baselines/abd.hpp"
 #include "baselines/authenticated.hpp"
-#include "baselines/fastwrite.hpp"
 #include "baselines/polling.hpp"
 #include "common/assert.hpp"
 #include "core/regular_reader.hpp"
 #include "core/safe_reader.hpp"
 #include "core/writer.hpp"
-#include "objects/regular_object.hpp"
-#include "objects/safe_object.hpp"
+#include "sim/world.hpp"
 
 namespace rr::harness {
-
-const char* to_string(Protocol p) {
-  switch (p) {
-    case Protocol::Safe: return "gv06-safe";
-    case Protocol::Regular: return "gv06-regular";
-    case Protocol::RegularOptimized: return "gv06-regular-opt";
-    case Protocol::Abd: return "abd";
-    case Protocol::Polling: return "polling";
-    case Protocol::FastWrite: return "fastwrite";
-    case Protocol::Auth: return "authenticated";
-  }
-  return "?";
-}
-
-Semantics promised_semantics(Protocol p) {
-  switch (p) {
-    case Protocol::Safe:
-    case Protocol::Polling:
-    case Protocol::FastWrite:
-      return Semantics::Safe;
-    case Protocol::Regular:
-    case Protocol::RegularOptimized:
-    case Protocol::Auth:
-      return Semantics::Regular;
-    case Protocol::Abd:
-      return Semantics::Atomic;
-  }
-  return Semantics::Safe;
-}
 
 FaultPlan FaultPlan::crash_only(int count) {
   FaultPlan plan;
@@ -57,28 +26,12 @@ FaultPlan FaultPlan::mixed(int byz, adversary::StrategyKind kind, int crash) {
   return plan;
 }
 
-std::string auth_key() { return "rr-writer-signing-key-0001"; }
-
-struct Deployment::Clients {
-  // Exactly one writer pointer and one reader family is non-null, matching
-  // the protocol. Raw pointers: the processes are owned by the World.
-  core::Writer* core_writer{nullptr};
-  std::vector<core::SafeReader*> safe_readers;
-  std::vector<core::RegularReader*> regular_readers;
-  baselines::AbdWriter* abd_writer{nullptr};
-  std::vector<baselines::AbdReader*> abd_readers;
-  baselines::PollingWriter* polling_writer{nullptr};
-  baselines::FastWriter* fast_writer{nullptr};
-  std::vector<baselines::PollingReader*> polling_readers;
-  baselines::AuthWriter* auth_writer{nullptr};
-  std::vector<baselines::AuthReader*> auth_readers;
-};
-
 Deployment::Deployment(DeploymentOptions opts)
     : opts_(std::move(opts)),
-      topo_(opts_.res.num_readers, opts_.res.num_objects),
-      clients_(std::make_unique<Clients>()) {
+      layout_{opts_.shards, opts_.res.num_readers, opts_.res.num_objects},
+      topo_(opts_.res.num_readers, opts_.res.num_objects) {
   RR_ASSERT(opts_.res.valid());
+  RR_ASSERT(opts_.shards >= 1);
   RR_ASSERT_MSG(opts_.faults.total_faulty() <= opts_.res.t,
                 "fault plan exceeds the resilience budget t");
   RR_ASSERT_MSG(static_cast<int>(opts_.faults.byzantine.size()) <= opts_.res.b,
@@ -88,225 +41,174 @@ Deployment::Deployment(DeploymentOptions opts)
 
 Deployment::~Deployment() = default;
 
-namespace {
-
-adversary::Flavor flavor_for(Protocol p) {
-  switch (p) {
-    case Protocol::Safe: return adversary::Flavor::Safe;
-    case Protocol::Regular:
-    case Protocol::RegularOptimized:
-      return adversary::Flavor::Regular;
-    case Protocol::Abd: return adversary::Flavor::Abd;
-    case Protocol::Polling:
-    case Protocol::FastWrite:
-      return adversary::Flavor::Poll;
-    case Protocol::Auth: return adversary::Flavor::Auth;
-  }
-  return adversary::Flavor::Safe;
+sim::World& Deployment::world() {
+  auto* w = backend_->world();
+  RR_ASSERT_MSG(w != nullptr, "world() requires the DES backend");
+  return *w;
 }
 
-}  // namespace
+checker::HistoryLog& Deployment::log(int shard) {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
+  return *logs_[static_cast<std::size_t>(shard)];
+}
 
 void Deployment::build() {
-  sim::WorldOptions wopts;
-  wopts.seed = opts_.seed;
-  wopts.reserialize = opts_.reserialize;
-  world_ = std::make_unique<sim::World>(wopts);
+  BackendConfig bcfg;
+  bcfg.seed = opts_.seed;
+  bcfg.reserialize = opts_.reserialize;
+  bcfg.delay = opts_.delay;
+  bcfg.delay_lo = opts_.delay_lo;
+  bcfg.delay_hi = opts_.delay_hi;
+  bcfg.max_jitter_us = opts_.thread_jitter_us;
+  backend_ = make_backend(opts_.backend, bcfg);
 
-  switch (opts_.delay) {
-    case DelayKind::Fixed:
-      world_->set_delay_model(std::make_unique<sim::FixedDelay>(opts_.delay_lo));
-      break;
-    case DelayKind::Uniform:
-      world_->set_delay_model(
-          std::make_unique<sim::UniformDelay>(opts_.delay_lo, opts_.delay_hi));
-      break;
-    case DelayKind::HeavyTail:
-      world_->set_delay_model(std::make_unique<sim::HeavyTailDelay>(
-          opts_.delay_lo, opts_.delay_hi, 0.05));
-      break;
-  }
-
+  const ProtocolTraits& traits = protocol_traits(opts_.protocol);
   const Resilience& res = opts_.res;
-  auto& c = *clients_;
+  const int K = opts_.shards;
+  const bool sharded = K > 1;
 
-  // Registration order matches Topology: writer, readers, objects.
-  switch (opts_.protocol) {
-    case Protocol::Safe: {
-      auto w = std::make_unique<core::Writer>(res, topo_);
-      c.core_writer = w.get();
-      world_->add_process(std::move(w));
-      for (int j = 0; j < res.num_readers; ++j) {
-        auto r = std::make_unique<core::SafeReader>(res, topo_, j);
-        c.safe_readers.push_back(r.get());
-        world_->add_process(std::move(r));
-      }
-      break;
-    }
-    case Protocol::Regular:
-    case Protocol::RegularOptimized: {
-      auto w = std::make_unique<core::Writer>(res, topo_);
-      c.core_writer = w.get();
-      world_->add_process(std::move(w));
-      const bool optimized = opts_.protocol == Protocol::RegularOptimized;
-      for (int j = 0; j < res.num_readers; ++j) {
-        auto r = std::make_unique<core::RegularReader>(res, topo_, j,
-                                                       optimized);
-        c.regular_readers.push_back(r.get());
-        world_->add_process(std::move(r));
-      }
-      break;
-    }
-    case Protocol::Abd: {
-      auto w = std::make_unique<baselines::AbdWriter>(res, topo_);
-      c.abd_writer = w.get();
-      world_->add_process(std::move(w));
-      for (int j = 0; j < res.num_readers; ++j) {
-        auto r = std::make_unique<baselines::AbdReader>(res, topo_, j);
-        c.abd_readers.push_back(r.get());
-        world_->add_process(std::move(r));
-      }
-      break;
-    }
-    case Protocol::Polling:
-    case Protocol::FastWrite: {
-      if (opts_.protocol == Protocol::Polling) {
-        auto w = std::make_unique<baselines::PollingWriter>(res, topo_);
-        c.polling_writer = w.get();
-        world_->add_process(std::move(w));
-      } else {
-        auto w = std::make_unique<baselines::FastWriter>(res, topo_);
-        c.fast_writer = w.get();
-        world_->add_process(std::move(w));
-      }
-      for (int j = 0; j < res.num_readers; ++j) {
-        auto r = std::make_unique<baselines::PollingReader>(res, topo_, j);
-        c.polling_readers.push_back(r.get());
-        world_->add_process(std::move(r));
-      }
-      break;
-    }
-    case Protocol::Auth: {
-      auto w = std::make_unique<baselines::AuthWriter>(res, topo_, auth_key());
-      c.auth_writer = w.get();
-      world_->add_process(std::move(w));
-      for (int j = 0; j < res.num_readers; ++j) {
-        auto r =
-            std::make_unique<baselines::AuthReader>(res, topo_, j, auth_key());
-        c.auth_readers.push_back(r.get());
-        world_->add_process(std::move(r));
-      }
-      break;
+  // Registration order matches ShardLayout: all writers, all readers, then
+  // the base objects (with K = 1 this is the classic Topology order).
+  for (int s = 0; s < K; ++s) {
+    auto w = traits.make_writer(res, topo_);
+    std::unique_ptr<core::WriterClient> proc =
+        sharded ? std::make_unique<ShardWriter>(layout_, s, std::move(w))
+                : std::move(w);
+    writers_.push_back(proc.get());
+    const ProcessId pid = backend_->add_process(std::move(proc));
+    RR_ASSERT(pid == layout_.writer(s));
+  }
+  readers_.resize(static_cast<std::size_t>(K));
+  for (int s = 0; s < K; ++s) {
+    for (int j = 0; j < res.num_readers; ++j) {
+      auto r = traits.make_reader(res, topo_, j);
+      std::unique_ptr<core::ReaderClient> proc =
+          sharded
+              ? std::make_unique<ShardReader>(layout_, s, j, std::move(r))
+              : std::move(r);
+      readers_[static_cast<std::size_t>(s)].push_back(proc.get());
+      const ProcessId pid = backend_->add_process(std::move(proc));
+      RR_ASSERT(pid == layout_.reader(s, j));
     }
   }
 
-  // Base objects: honest, Byzantine impostor, or honest-then-crashed.
-  const auto flavor = flavor_for(opts_.protocol);
+  // Base objects: honest, Byzantine impostor, or honest-then-crashed. In a
+  // sharded deployment every object hosts one instance per register; a
+  // Byzantine object is Byzantine in every register it serves.
+  const ObjectConfig ocfg{opts_.history_limit};
   for (int i = 0; i < res.num_objects; ++i) {
-    std::unique_ptr<net::Process> obj;
     const auto byz = opts_.faults.byzantine.find(i);
-    if (byz != opts_.faults.byzantine.end()) {
-      obj = adversary::make_byzantine(byz->second, flavor, topo_, res, i);
-    } else {
-      switch (flavor) {
-        case adversary::Flavor::Safe:
-          obj = std::make_unique<objects::SafeObject>(topo_, i);
-          break;
-        case adversary::Flavor::Regular:
-          obj = std::make_unique<objects::RegularObject>(topo_, i,
-                                                         opts_.history_limit);
-          break;
-        case adversary::Flavor::Poll:
-          obj = std::make_unique<baselines::PollObject>(topo_, i);
-          break;
-        case adversary::Flavor::Auth:
-          obj = std::make_unique<baselines::AuthObject>(topo_, i);
-          break;
-        case adversary::Flavor::Abd:
-          obj = std::make_unique<baselines::AbdObject>(topo_, i);
-          break;
+    const auto make_instance =
+        [&](RegisterId) -> std::unique_ptr<net::Process> {
+      if (byz != opts_.faults.byzantine.end()) {
+        return adversary::make_byzantine(byz->second, traits.flavor, topo_,
+                                         res, i);
       }
-    }
-    const ProcessId pid = world_->add_process(std::move(obj));
-    RR_ASSERT(pid == topo_.object(i));
+      return traits.make_object(topo_, i, ocfg);
+    };
+    std::unique_ptr<net::Process> obj =
+        sharded ? std::make_unique<ShardedObjectHost>(layout_, i,
+                                                      make_instance)
+                : make_instance(0);
+    const ProcessId pid = backend_->add_process(std::move(obj));
+    RR_ASSERT(pid == layout_.object(i));
   }
   for (const int i : opts_.faults.crashed) {
-    world_->crash(topo_.object(i));
+    backend_->crash(layout_.object(i));
   }
-  world_->start();
+
+  logs_.reserve(static_cast<std::size_t>(K));
+  for (int s = 0; s < K; ++s) {
+    logs_.push_back(std::make_unique<checker::HistoryLog>());
+  }
+
+  backend_->start();
 }
 
-void Deployment::do_write(net::Context& ctx, Value v, core::WriteCallback cb) {
-  auto& cl = *clients_;
-  if (cl.core_writer != nullptr) {
-    cl.core_writer->write(ctx, std::move(v), std::move(cb));
-  } else if (cl.abd_writer != nullptr) {
-    cl.abd_writer->write(ctx, std::move(v), std::move(cb));
-  } else if (cl.polling_writer != nullptr) {
-    cl.polling_writer->write(ctx, std::move(v), std::move(cb));
-  } else if (cl.fast_writer != nullptr) {
-    cl.fast_writer->write(ctx, std::move(v), std::move(cb));
-  } else if (cl.auth_writer != nullptr) {
-    cl.auth_writer->write(ctx, std::move(v), std::move(cb));
-  }
+void Deployment::do_write(net::Context& ctx, int shard, Value v,
+                          core::WriteCallback cb) {
+  writers_[static_cast<std::size_t>(shard)]->write(ctx, std::move(v),
+                                                   std::move(cb));
 }
 
-void Deployment::do_read(net::Context& ctx, int reader, core::ReadCallback cb) {
-  auto& cl = *clients_;
-  const auto j = static_cast<std::size_t>(reader);
-  if (!cl.safe_readers.empty()) {
-    cl.safe_readers[j]->read(ctx, std::move(cb));
-  } else if (!cl.regular_readers.empty()) {
-    cl.regular_readers[j]->read(ctx, std::move(cb));
-  } else if (!cl.abd_readers.empty()) {
-    cl.abd_readers[j]->read(ctx, std::move(cb));
-  } else if (!cl.polling_readers.empty()) {
-    cl.polling_readers[j]->read(ctx, std::move(cb));
-  } else if (!cl.auth_readers.empty()) {
-    cl.auth_readers[j]->read(ctx, std::move(cb));
-  }
+void Deployment::do_read(net::Context& ctx, int shard, int reader,
+                         core::ReadCallback cb) {
+  readers_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(reader)]
+      ->read(ctx, std::move(cb));
 }
 
 void Deployment::invoke_write(Time at, Value v, core::WriteCallback cb) {
-  world_->post(at, writer_pid(),
-               [this, v = std::move(v), cb = std::move(cb)](net::Context& ctx) {
-                 do_write(ctx, v, cb);
-               });
+  invoke_write(at, 0, std::move(v), std::move(cb));
+}
+
+void Deployment::invoke_write(Time at, int shard, Value v,
+                              core::WriteCallback cb) {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
+  backend_->post(at, layout_.writer(shard),
+                 [this, shard, v = std::move(v),
+                  cb = std::move(cb)](net::Context& ctx) {
+                   do_write(ctx, shard, v, cb);
+                 });
 }
 
 void Deployment::invoke_read(Time at, int reader, core::ReadCallback cb) {
+  invoke_read(at, 0, reader, std::move(cb));
+}
+
+void Deployment::invoke_read(Time at, int shard, int reader,
+                             core::ReadCallback cb) {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
   RR_ASSERT(reader >= 0 && reader < opts_.res.num_readers);
-  world_->post(at, reader_pid(reader),
-               [this, reader, cb = std::move(cb)](net::Context& ctx) {
-                 do_read(ctx, reader, cb);
-               });
+  backend_->post(at, layout_.reader(shard, reader),
+                 [this, shard, reader, cb = std::move(cb)](net::Context& ctx) {
+                   do_read(ctx, shard, reader, cb);
+                 });
 }
 
 void Deployment::logged_write(Time at, Value v, core::WriteCallback cb) {
-  world_->post(at, writer_pid(), [this, v = std::move(v),
-                                  cb = std::move(cb)](net::Context& ctx) {
+  logged_write(at, 0, std::move(v), std::move(cb));
+}
+
+void Deployment::logged_write(Time at, int shard, Value v,
+                              core::WriteCallback cb) {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
+  backend_->post(at, layout_.writer(shard), [this, shard, v = std::move(v),
+                                             cb = std::move(cb)](
+                                                net::Context& ctx) {
     // The log handle is created at actual invocation (inside the writer's
     // step) so invoked_at is exact; the intended value is recorded up front
     // in case the write never completes.
-    const auto handle = log_.record_invocation(checker::OpRecord::Kind::Write,
-                                               -1, ctx.now(), v);
-    do_write(ctx, v, [this, handle, v, cb](const core::WriteResult& r) {
-      log_.record_write_response(handle, r.completed_at, r.ts, v);
-      if (cb) cb(r);
-    });
+    auto& log = *logs_[static_cast<std::size_t>(shard)];
+    const auto handle = log.record_invocation(checker::OpRecord::Kind::Write,
+                                              -1, ctx.now(), v);
+    do_write(ctx, shard, v,
+             [this, shard, handle, v, cb](const core::WriteResult& r) {
+               logs_[static_cast<std::size_t>(shard)]->record_write_response(
+                   handle, r.completed_at, r.ts, v);
+               if (cb) cb(r);
+             });
   });
 }
 
 void Deployment::logged_read(Time at, int reader, core::ReadCallback cb) {
+  logged_read(at, 0, reader, std::move(cb));
+}
+
+void Deployment::logged_read(Time at, int shard, int reader,
+                             core::ReadCallback cb) {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
   RR_ASSERT(reader >= 0 && reader < opts_.res.num_readers);
-  world_->post(at, reader_pid(reader), [this, reader,
-                                        cb = std::move(cb)](net::Context& ctx) {
-    const auto handle = log_.record_invocation(checker::OpRecord::Kind::Read,
-                                               reader, ctx.now());
-    do_read(ctx, reader, [this, handle, cb](const core::ReadResult& r) {
-      log_.record_read_response(handle, r.completed_at, r.tsval);
-      if (cb) cb(r);
-    });
+  backend_->post(at, layout_.reader(shard, reader),
+                 [this, shard, reader, cb = std::move(cb)](net::Context& ctx) {
+    auto& log = *logs_[static_cast<std::size_t>(shard)];
+    const auto handle = log.record_invocation(checker::OpRecord::Kind::Read,
+                                              reader, ctx.now());
+    do_read(ctx, shard, reader,
+            [this, shard, handle, cb](const core::ReadResult& r) {
+              logs_[static_cast<std::size_t>(shard)]->record_read_response(
+                  handle, r.completed_at, r.tsval);
+              if (cb) cb(r);
+            });
   });
 }
 
@@ -315,7 +217,28 @@ checker::CheckReport Deployment::check() const {
 }
 
 checker::CheckReport Deployment::check(Semantics s) const {
-  const auto ops = log_.snapshot();
+  checker::CheckReport combined;
+  for (int shard = 0; shard < opts_.shards; ++shard) {
+    auto report = check_shard(shard, s);
+    for (auto& v : report.violations) {
+      combined.violations.push_back(
+          opts_.shards > 1
+              ? "shard " + std::to_string(shard) + ": " + std::move(v)
+              : std::move(v));
+    }
+    combined.reads_checked += report.reads_checked;
+    combined.writes_checked += report.writes_checked;
+  }
+  return combined;
+}
+
+checker::CheckReport Deployment::check_shard(int shard) const {
+  return check_shard(shard, promised_semantics(opts_.protocol));
+}
+
+checker::CheckReport Deployment::check_shard(int shard, Semantics s) const {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
+  const auto ops = logs_[static_cast<std::size_t>(shard)]->snapshot();
   auto report = checker::check_well_formed(ops);
   checker::CheckReport semantic;
   switch (s) {
@@ -329,33 +252,70 @@ checker::CheckReport Deployment::check(Semantics s) const {
   return report;
 }
 
+core::WriterClient& Deployment::writer_client(int shard) {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
+  return *writers_[static_cast<std::size_t>(shard)];
+}
+
+core::ReaderClient& Deployment::reader_client(int shard, int j) {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
+  RR_ASSERT(j >= 0 && j < opts_.res.num_readers);
+  return *readers_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(j)];
+}
+
+namespace {
+
+/// Unwraps a shard adapter if present, then casts to the concrete type.
+template <class Concrete, class Client>
+Concrete& typed_client(Client* client) {
+  if (auto* direct = dynamic_cast<Concrete*>(client)) return *direct;
+  Concrete* inner = nullptr;
+  if constexpr (std::is_base_of_v<core::WriterClient, Concrete>) {
+    if (auto* wrap = dynamic_cast<ShardWriter*>(client)) {
+      inner = dynamic_cast<Concrete*>(&wrap->inner());
+    }
+  } else {
+    if (auto* wrap = dynamic_cast<ShardReader*>(client)) {
+      inner = dynamic_cast<Concrete*>(&wrap->inner());
+    }
+  }
+  RR_ASSERT_MSG(inner != nullptr,
+                "typed client accessor does not match the protocol");
+  return *inner;
+}
+
+}  // namespace
+
 core::Writer& Deployment::core_writer() {
-  RR_ASSERT(clients_->core_writer != nullptr);
-  return *clients_->core_writer;
+  return typed_client<core::Writer>(writers_[0]);
 }
 
 core::SafeReader& Deployment::safe_reader(int j) {
-  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->safe_readers.size()));
-  return *clients_->safe_readers[static_cast<std::size_t>(j)];
+  RR_ASSERT(j >= 0 && j < opts_.res.num_readers);
+  return typed_client<core::SafeReader>(
+      readers_[0][static_cast<std::size_t>(j)]);
 }
 
 core::RegularReader& Deployment::regular_reader(int j) {
-  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->regular_readers.size()));
-  return *clients_->regular_readers[static_cast<std::size_t>(j)];
+  RR_ASSERT(j >= 0 && j < opts_.res.num_readers);
+  return typed_client<core::RegularReader>(
+      readers_[0][static_cast<std::size_t>(j)]);
 }
 
 baselines::PollingReader& Deployment::polling_reader(int j) {
-  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->polling_readers.size()));
-  return *clients_->polling_readers[static_cast<std::size_t>(j)];
+  RR_ASSERT(j >= 0 && j < opts_.res.num_readers);
+  return typed_client<baselines::PollingReader>(
+      readers_[0][static_cast<std::size_t>(j)]);
 }
 
 baselines::AuthReader& Deployment::auth_reader(int j) {
-  RR_ASSERT(j >= 0 && j < static_cast<int>(clients_->auth_readers.size()));
-  return *clients_->auth_readers[static_cast<std::size_t>(j)];
+  RR_ASSERT(j >= 0 && j < opts_.res.num_readers);
+  return typed_client<baselines::AuthReader>(
+      readers_[0][static_cast<std::size_t>(j)]);
 }
 
 net::Process& Deployment::object_process(int i) {
-  return world_->process(topo_.object(i));
+  return backend_->process(layout_.object(i));
 }
 
 }  // namespace rr::harness

@@ -1,24 +1,31 @@
-// One-stop construction of a simulated storage deployment.
+// One-stop construction of a storage deployment over any backend.
 //
-// A Deployment wires together, inside a sim::World: one writer, R readers,
-// and S base objects of the chosen protocol family, with a fault plan
-// (crashed objects, Byzantine impostors by strategy) and a delay model. It
-// exposes a protocol-agnostic invoke/read API plus a HistoryLog so tests and
-// benches can drive any protocol through the same code paths and check the
-// resulting history against the paper's correctness conditions.
+// A Deployment wires together, on a harness::Backend (the deterministic
+// discrete-event simulator or the threaded cluster): K shards -- each one
+// writer plus R readers of the chosen protocol family -- served by S base
+// objects, with a fault plan (crashed objects, Byzantine impostors by
+// strategy) and a delay model. Protocol wiring comes from the
+// protocol-traits registry (harness/protocol.hpp); the physical process
+// layout comes from ShardLayout (harness/shard.hpp). It exposes a
+// protocol-agnostic invoke/read API plus one HistoryLog per shard, so tests
+// and benches can drive any protocol, on either substrate, at any shard
+// count, through the same code paths and check every shard's history
+// against the paper's correctness conditions.
 #pragma once
 
-#include <functional>
-#include <map>
 #include <memory>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "adversary/byzantine.hpp"
 #include "checker/history.hpp"
 #include "common/types.hpp"
+#include "core/client_api.hpp"
 #include "core/client_types.hpp"
-#include "sim/world.hpp"
+#include "harness/backend.hpp"
+#include "harness/protocol.hpp"
+#include "harness/shard.hpp"
 
 namespace rr::core {
 class Writer;
@@ -32,22 +39,6 @@ class AuthReader;
 }  // namespace rr::baselines
 
 namespace rr::harness {
-
-enum class Protocol {
-  Safe,              ///< Guerraoui-Vukolic safe storage (Figures 2-4)
-  Regular,           ///< Guerraoui-Vukolic regular storage (Figures 5-6)
-  RegularOptimized,  ///< + Section 5.1 cached history suffixes
-  Abd,               ///< crash-only atomic baseline
-  Polling,           ///< readers-don't-write safe baseline (b+1-round regime)
-  FastWrite,         ///< 1-round writes, needs S >= 2t+2b+1
-  Auth,              ///< authenticated regular baseline (1-round ops)
-};
-
-[[nodiscard]] const char* to_string(Protocol p);
-
-/// Semantics each protocol promises (what the checker should verify).
-enum class Semantics { Safe, Regular, Atomic };
-[[nodiscard]] Semantics promised_semantics(Protocol p);
 
 struct FaultPlan {
   std::vector<int> crashed;  ///< object indices crashed from time 0
@@ -64,17 +55,23 @@ struct FaultPlan {
   static FaultPlan mixed(int byz, adversary::StrategyKind kind, int crash);
 };
 
-enum class DelayKind { Fixed, Uniform, HeavyTail };
-
 struct DeploymentOptions {
   Resilience res{Resilience::optimal(1, 1)};
   Protocol protocol{Protocol::Safe};
+  /// Execution substrate: deterministic DES or real threads.
+  BackendKind backend{BackendKind::Sim};
+  /// Number of independent registers served by the deployment. Each shard
+  /// gets its own writer and res.num_readers readers; all shards share the
+  /// res.num_objects base objects.
+  int shards{1};
   std::uint64_t seed{1};
   FaultPlan faults{};
   DelayKind delay{DelayKind::Uniform};
   Time delay_lo{1'000};
   Time delay_hi{10'000};
   bool reserialize{false};  ///< round-trip every message through the codec
+  /// Threads backend: max artificial delivery jitter (microseconds).
+  std::uint32_t thread_jitter_us{0};
   /// Regular-object history garbage collection: retain at most this many
   /// slots (0 = unlimited, the paper's presentation). Only meaningful for
   /// the Regular / RegularOptimized protocols.
@@ -89,36 +86,68 @@ class Deployment {
   Deployment(const Deployment&) = delete;
   Deployment& operator=(const Deployment&) = delete;
 
-  [[nodiscard]] sim::World& world() { return *world_; }
+  [[nodiscard]] Backend& backend() { return *backend_; }
+  /// The underlying simulator; asserts unless running on the DES backend.
+  [[nodiscard]] sim::World& world();
+  /// Logical single-register topology (what each shard's automata see).
   [[nodiscard]] const Topology& topo() const { return topo_; }
+  /// Physical process layout across shards.
+  [[nodiscard]] const ShardLayout& layout() const { return layout_; }
   [[nodiscard]] const Resilience& res() const { return opts_.res; }
   [[nodiscard]] const DeploymentOptions& options() const { return opts_; }
-  [[nodiscard]] checker::HistoryLog& log() { return log_; }
+  [[nodiscard]] int shards() const { return opts_.shards; }
+  [[nodiscard]] checker::HistoryLog& log(int shard = 0);
+  [[nodiscard]] Time now() const { return backend_->now(); }
+  [[nodiscard]] net::NetStats stats() const { return backend_->stats(); }
 
-  [[nodiscard]] ProcessId writer_pid() const { return topo_.writer(); }
-  [[nodiscard]] ProcessId reader_pid(int j) const { return topo_.reader(j); }
-  [[nodiscard]] ProcessId object_pid(int i) const { return topo_.object(i); }
+  [[nodiscard]] ProcessId writer_pid(int shard = 0) const {
+    return layout_.writer(shard);
+  }
+  [[nodiscard]] ProcessId reader_pid(int j) const {
+    return layout_.reader(0, j);
+  }
+  [[nodiscard]] ProcessId reader_pid(int shard, int j) const {
+    return layout_.reader(shard, j);
+  }
+  [[nodiscard]] ProcessId object_pid(int i) const {
+    return layout_.object(i);
+  }
 
-  /// Schedules WRITE(v) at virtual time `at` (unlogged).
+  /// Schedules WRITE(v) on shard 0 at time `at` (unlogged).
   void invoke_write(Time at, Value v, core::WriteCallback cb);
-  /// Schedules READ() by reader j at virtual time `at` (unlogged).
+  void invoke_write(Time at, int shard, Value v, core::WriteCallback cb);
+  /// Schedules READ() by reader j (shard 0) at time `at` (unlogged).
   void invoke_read(Time at, int reader, core::ReadCallback cb);
+  void invoke_read(Time at, int shard, int reader, core::ReadCallback cb);
 
-  /// Logged variants: record invocation/response into the HistoryLog and
-  /// then invoke `cb` (which may be null).
+  /// Logged variants: record invocation/response into the shard's
+  /// HistoryLog and then invoke `cb` (which may be null).
   void logged_write(Time at, Value v, core::WriteCallback cb = nullptr);
+  void logged_write(Time at, int shard, Value v,
+                    core::WriteCallback cb = nullptr);
   void logged_read(Time at, int reader, core::ReadCallback cb = nullptr);
+  void logged_read(Time at, int shard, int reader,
+                   core::ReadCallback cb = nullptr);
 
-  /// Runs the world to quiescence and returns executed events.
-  std::uint64_t run() { return world_->run(); }
+  /// Runs the backend to quiescence; returns events/messages processed.
+  std::uint64_t run() { return backend_->run(); }
 
-  /// Checks the recorded history against the protocol's promised semantics
-  /// (plus well-formedness).
+  /// Checks every shard's recorded history against the protocol's promised
+  /// semantics (plus well-formedness); violations are prefixed with their
+  /// shard when the deployment is sharded.
   [[nodiscard]] checker::CheckReport check() const;
   [[nodiscard]] checker::CheckReport check(Semantics s) const;
+  /// Checks a single shard's history.
+  [[nodiscard]] checker::CheckReport check_shard(int shard) const;
+  [[nodiscard]] checker::CheckReport check_shard(int shard,
+                                                 Semantics s) const;
 
-  /// Direct access to the concrete client automata (asserts on protocol
-  /// mismatch). Used by protocol-specific tests.
+  /// Protocol-agnostic client handles (shard-indexed).
+  [[nodiscard]] core::WriterClient& writer_client(int shard = 0);
+  [[nodiscard]] core::ReaderClient& reader_client(int shard, int j);
+
+  /// Direct access to the concrete client automata of shard 0 (asserts on
+  /// protocol mismatch). Used by protocol-specific tests.
   [[nodiscard]] core::Writer& core_writer();
   [[nodiscard]] core::SafeReader& safe_reader(int j);
   [[nodiscard]] core::RegularReader& regular_reader(int j);
@@ -127,21 +156,20 @@ class Deployment {
   [[nodiscard]] net::Process& object_process(int i);
 
  private:
-  struct Clients;
-
   void build();
-  void do_write(net::Context& ctx, Value v, core::WriteCallback cb);
-  void do_read(net::Context& ctx, int reader, core::ReadCallback cb);
+  void do_write(net::Context& ctx, int shard, Value v, core::WriteCallback cb);
+  void do_read(net::Context& ctx, int shard, int reader, core::ReadCallback cb);
 
   DeploymentOptions opts_;
+  ShardLayout layout_;
   Topology topo_;
-  std::unique_ptr<sim::World> world_;
-  std::unique_ptr<Clients> clients_;
-  checker::HistoryLog log_;
+  std::vector<core::WriterClient*> writers_;               // [shard]
+  std::vector<std::vector<core::ReaderClient*>> readers_;  // [shard][j]
+  std::vector<std::unique_ptr<checker::HistoryLog>> logs_;  // [shard]
+  // Declared last so it is destroyed first: the threads backend joins its
+  // worker/timer threads in its destructor, and those threads may still be
+  // running closures that touch the logs and client tables above.
+  std::unique_ptr<Backend> backend_;
 };
-
-/// The writer's key for the authenticated baseline (shared with readers,
-/// unknown to base objects).
-[[nodiscard]] std::string auth_key();
 
 }  // namespace rr::harness

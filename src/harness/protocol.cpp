@@ -1,0 +1,159 @@
+#include "harness/protocol.hpp"
+
+#include "baselines/abd.hpp"
+#include "baselines/authenticated.hpp"
+#include "baselines/fastwrite.hpp"
+#include "baselines/polling.hpp"
+#include "common/assert.hpp"
+#include "core/regular_reader.hpp"
+#include "core/safe_reader.hpp"
+#include "core/writer.hpp"
+#include "objects/regular_object.hpp"
+#include "objects/safe_object.hpp"
+
+namespace rr::harness {
+
+std::string auth_key() { return "rr-writer-signing-key-0001"; }
+
+namespace {
+
+Resilience optimal_res(int t, int b, int r) {
+  return Resilience::optimal(t, b, r);
+}
+Resilience abd_res(int t, int /*b*/, int r) {
+  return Resilience{2 * t + 1, t, 0, r};
+}
+Resilience fastwrite_res(int t, int b, int r) {
+  return Resilience{2 * t + 2 * b + 1, t, b, r};
+}
+
+std::unique_ptr<core::WriterClient> gv_writer(const Resilience& res,
+                                              const Topology& topo) {
+  return std::make_unique<core::Writer>(res, topo);
+}
+
+template <bool Optimized>
+std::unique_ptr<core::ReaderClient> regular_reader(const Resilience& res,
+                                                   const Topology& topo,
+                                                   int j) {
+  return std::make_unique<core::RegularReader>(res, topo, j, Optimized);
+}
+
+std::unique_ptr<net::Process> regular_object(const Topology& topo, int i,
+                                             const ObjectConfig& cfg) {
+  return std::make_unique<objects::RegularObject>(topo, i, cfg.history_limit);
+}
+
+const std::vector<ProtocolTraits>& table() {
+  static const std::vector<ProtocolTraits> kTable = {
+      ProtocolTraits{
+          Protocol::Safe, "gv06-safe", "safe", Semantics::Safe,
+          adversary::Flavor::Safe, &optimal_res, &gv_writer,
+          [](const Resilience& res, const Topology& topo, int j)
+              -> std::unique_ptr<core::ReaderClient> {
+            return std::make_unique<core::SafeReader>(res, topo, j);
+          },
+          [](const Topology& topo, int i, const ObjectConfig&)
+              -> std::unique_ptr<net::Process> {
+            return std::make_unique<objects::SafeObject>(topo, i);
+          }},
+      ProtocolTraits{Protocol::Regular, "gv06-regular", "regular",
+                     Semantics::Regular, adversary::Flavor::Regular,
+                     &optimal_res, &gv_writer, &regular_reader<false>,
+                     &regular_object},
+      ProtocolTraits{Protocol::RegularOptimized, "gv06-regular-opt",
+                     "regular-opt", Semantics::Regular,
+                     adversary::Flavor::Regular, &optimal_res, &gv_writer,
+                     &regular_reader<true>, &regular_object},
+      ProtocolTraits{
+          Protocol::Abd, "abd", "abd", Semantics::Atomic,
+          adversary::Flavor::Abd, &abd_res,
+          [](const Resilience& res, const Topology& topo)
+              -> std::unique_ptr<core::WriterClient> {
+            return std::make_unique<baselines::AbdWriter>(res, topo);
+          },
+          [](const Resilience& res, const Topology& topo, int j)
+              -> std::unique_ptr<core::ReaderClient> {
+            return std::make_unique<baselines::AbdReader>(res, topo, j);
+          },
+          [](const Topology& topo, int i, const ObjectConfig&)
+              -> std::unique_ptr<net::Process> {
+            return std::make_unique<baselines::AbdObject>(topo, i);
+          }},
+      ProtocolTraits{
+          Protocol::Polling, "polling", "polling", Semantics::Safe,
+          adversary::Flavor::Poll, &optimal_res,
+          [](const Resilience& res, const Topology& topo)
+              -> std::unique_ptr<core::WriterClient> {
+            return std::make_unique<baselines::PollingWriter>(res, topo);
+          },
+          [](const Resilience& res, const Topology& topo, int j)
+              -> std::unique_ptr<core::ReaderClient> {
+            return std::make_unique<baselines::PollingReader>(res, topo, j);
+          },
+          [](const Topology& topo, int i, const ObjectConfig&)
+              -> std::unique_ptr<net::Process> {
+            return std::make_unique<baselines::PollObject>(topo, i);
+          }},
+      ProtocolTraits{
+          Protocol::FastWrite, "fastwrite", "fastwrite", Semantics::Safe,
+          adversary::Flavor::Poll, &fastwrite_res,
+          [](const Resilience& res, const Topology& topo)
+              -> std::unique_ptr<core::WriterClient> {
+            return std::make_unique<baselines::FastWriter>(res, topo);
+          },
+          [](const Resilience& res, const Topology& topo, int j)
+              -> std::unique_ptr<core::ReaderClient> {
+            return std::make_unique<baselines::PollingReader>(res, topo, j);
+          },
+          [](const Topology& topo, int i, const ObjectConfig&)
+              -> std::unique_ptr<net::Process> {
+            return std::make_unique<baselines::PollObject>(topo, i);
+          }},
+      ProtocolTraits{
+          Protocol::Auth, "authenticated", "auth", Semantics::Regular,
+          adversary::Flavor::Auth, &optimal_res,
+          [](const Resilience& res, const Topology& topo)
+              -> std::unique_ptr<core::WriterClient> {
+            return std::make_unique<baselines::AuthWriter>(res, topo,
+                                                           auth_key());
+          },
+          [](const Resilience& res, const Topology& topo, int j)
+              -> std::unique_ptr<core::ReaderClient> {
+            return std::make_unique<baselines::AuthReader>(res, topo, j,
+                                                           auth_key());
+          },
+          [](const Topology& topo, int i, const ObjectConfig&)
+              -> std::unique_ptr<net::Process> {
+            return std::make_unique<baselines::AuthObject>(topo, i);
+          }},
+  };
+  return kTable;
+}
+
+}  // namespace
+
+const std::vector<ProtocolTraits>& protocol_registry() { return table(); }
+
+const ProtocolTraits& protocol_traits(Protocol p) {
+  const auto& t = table();
+  const auto idx = static_cast<std::size_t>(p);
+  RR_ASSERT_MSG(idx < t.size(), "protocol not registered");
+  RR_ASSERT(t[idx].id == p);
+  return t[idx];
+}
+
+std::optional<Protocol> protocol_from_name(std::string_view name) {
+  for (const auto& entry : table()) {
+    if (name == entry.name || name == entry.cli_name) return entry.id;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(Protocol p) { return protocol_traits(p).name; }
+
+Semantics promised_semantics(Protocol p) {
+  return protocol_traits(p).semantics;
+}
+
+}  // namespace rr::harness

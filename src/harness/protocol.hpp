@@ -1,0 +1,83 @@
+// Protocol-traits registry: the single place that knows how to build each
+// protocol family.
+//
+// One table entry per protocol supplies everything the harness needs --
+// display/CLI names, the semantics the checker should verify, the Byzantine
+// impostor flavor, the recommended resilience for a fault budget, and
+// factories for the writer / reader / base-object automata. Deployment,
+// the benches and the CLIs iterate or index this table instead of switching
+// on the enum, so adding a protocol means adding one entry here (plus its
+// automata) and nothing else.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "common/types.hpp"
+#include "core/client_api.hpp"
+
+namespace rr::harness {
+
+enum class Protocol {
+  Safe,              ///< Guerraoui-Vukolic safe storage (Figures 2-4)
+  Regular,           ///< Guerraoui-Vukolic regular storage (Figures 5-6)
+  RegularOptimized,  ///< + Section 5.1 cached history suffixes
+  Abd,               ///< crash-only atomic baseline
+  Polling,           ///< readers-don't-write safe baseline (b+1-round regime)
+  FastWrite,         ///< 1-round writes, needs S >= 2t+2b+1
+  Auth,              ///< authenticated regular baseline (1-round ops)
+};
+
+/// Semantics each protocol promises (what the checker should verify).
+enum class Semantics { Safe, Regular, Atomic };
+
+/// Per-object build configuration passed to the object factories.
+struct ObjectConfig {
+  /// Regular-object history garbage collection: retain at most this many
+  /// slots (0 = unlimited, the paper's presentation).
+  std::size_t history_limit{0};
+};
+
+struct ProtocolTraits {
+  Protocol id{Protocol::Safe};
+  const char* name{""};      ///< canonical display name ("gv06-safe")
+  const char* cli_name{""};  ///< short name accepted by CLIs ("safe")
+  Semantics semantics{Semantics::Safe};
+  adversary::Flavor flavor{adversary::Flavor::Safe};
+
+  /// Recommended deployment for fault budgets (t, b): ABD is crash-only
+  /// (b forced to 0, S = 2t+1), fastwrite needs S = 2t+2b+1, everything
+  /// else runs at the optimal S = 2t+b+1.
+  Resilience (*resilience_for)(int t, int b, int num_readers){nullptr};
+
+  std::unique_ptr<core::WriterClient> (*make_writer)(const Resilience&,
+                                                     const Topology&){nullptr};
+  std::unique_ptr<core::ReaderClient> (*make_reader)(const Resilience&,
+                                                     const Topology&,
+                                                     int reader_index){nullptr};
+  std::unique_ptr<net::Process> (*make_object)(const Topology&,
+                                               int object_index,
+                                               const ObjectConfig&){nullptr};
+};
+
+/// Traits of one protocol (O(1) table lookup).
+[[nodiscard]] const ProtocolTraits& protocol_traits(Protocol p);
+
+/// All registered protocols, in enum order (for CLIs, benches and sweeps).
+[[nodiscard]] const std::vector<ProtocolTraits>& protocol_registry();
+
+/// Parses a protocol by canonical or CLI name; nullopt if unknown.
+[[nodiscard]] std::optional<Protocol> protocol_from_name(std::string_view name);
+
+[[nodiscard]] const char* to_string(Protocol p);
+[[nodiscard]] Semantics promised_semantics(Protocol p);
+
+/// The writer's key for the authenticated baseline (shared with readers,
+/// unknown to base objects).
+[[nodiscard]] std::string auth_key();
+
+}  // namespace rr::harness

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,10 +11,27 @@
 
 namespace rr::harness {
 
-/// Accumulates per-operation metrics.
+/// Accumulates per-operation metrics. add() is thread-safe (on the threads
+/// backend completion callbacks fire on each client's own thread); the
+/// read accessors are meant for after the run has quiesced.
 class OpStats {
  public:
+  OpStats() = default;
+  OpStats(const OpStats& other) {
+    std::lock_guard lock(other.mu_);
+    latencies_ = other.latencies_;
+    rounds_ = other.rounds_;
+  }
+  OpStats& operator=(const OpStats& other) {
+    if (this == &other) return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    latencies_ = other.latencies_;
+    rounds_ = other.rounds_;
+    return *this;
+  }
+
   void add(Time latency, int rounds) {
+    std::lock_guard lock(mu_);
     latencies_.push_back(latency);
     rounds_.push_back(rounds);
   }
@@ -61,6 +79,7 @@ class OpStats {
     return sorted[std::min(idx, sorted.size() - 1)];
   }
 
+  mutable std::mutex mu_;
   std::vector<Time> latencies_;
   std::vector<int> rounds_;
 };

@@ -7,6 +7,7 @@ namespace {
 
 /// Shared chaining state for a stream of operations by one client.
 struct StreamState {
+  int shard{0};
   int remaining{0};
   Ts next_value{1};
   Time gap{0};
@@ -30,7 +31,7 @@ void on_write_complete(Deployment& d, const std::shared_ptr<StreamState>& st,
 void schedule_next_write(Deployment& d, const std::shared_ptr<StreamState>& st,
                          Time at) {
   const Value v = value_for(st->next_value++);
-  d.logged_write(at, v, [&d, st](const core::WriteResult& r) {
+  d.logged_write(at, st->shard, v, [&d, st](const core::WriteResult& r) {
     on_write_complete(d, st, r);
   });
 }
@@ -51,20 +52,22 @@ void on_read_complete(Deployment& d, int reader,
 
 void schedule_next_read(Deployment& d, int reader,
                         const std::shared_ptr<StreamState>& st, Time at) {
-  d.logged_read(at, reader, [&d, reader, st](const core::ReadResult& r) {
-    on_read_complete(d, reader, st, r);
-  });
+  d.logged_read(at, st->shard, reader,
+                [&d, reader, st](const core::ReadResult& r) {
+                  on_read_complete(d, reader, st, r);
+                });
 }
 
 }  // namespace
 
-void write_stream(Deployment& d, Time start, Time gap, int count,
+void write_stream(Deployment& d, int shard, Time start, Time gap, int count,
                   OpStats* stats, std::function<void()> on_done) {
   if (count <= 0) {
     if (on_done) on_done();
     return;
   }
   auto st = std::make_shared<StreamState>();
+  st->shard = shard;
   st->remaining = count;
   st->gap = gap;
   st->stats = stats;
@@ -72,13 +75,19 @@ void write_stream(Deployment& d, Time start, Time gap, int count,
   schedule_next_write(d, st, start);
 }
 
-void read_stream(Deployment& d, int reader, Time start, Time gap, int count,
-                 OpStats* stats, std::function<void()> on_done) {
+void write_stream(Deployment& d, Time start, Time gap, int count,
+                  OpStats* stats, std::function<void()> on_done) {
+  write_stream(d, 0, start, gap, count, stats, std::move(on_done));
+}
+
+void read_stream(Deployment& d, int shard, int reader, Time start, Time gap,
+                 int count, OpStats* stats, std::function<void()> on_done) {
   if (count <= 0) {
     if (on_done) on_done();
     return;
   }
   auto st = std::make_shared<StreamState>();
+  st->shard = shard;
   st->remaining = count;
   st->gap = gap;
   st->stats = stats;
@@ -86,13 +95,21 @@ void read_stream(Deployment& d, int reader, Time start, Time gap, int count,
   schedule_next_read(d, reader, st, start);
 }
 
+void read_stream(Deployment& d, int reader, Time start, Time gap, int count,
+                 OpStats* stats, std::function<void()> on_done) {
+  read_stream(d, 0, reader, start, gap, count, stats, std::move(on_done));
+}
+
 void mixed_workload(Deployment& d, const MixedWorkloadOptions& opts,
                     MixedWorkloadStats* stats) {
-  write_stream(d, opts.start, opts.write_gap, opts.writes,
-               stats != nullptr ? &stats->writes : nullptr);
-  for (int j = 0; j < d.res().num_readers; ++j) {
-    read_stream(d, j, opts.start + 500, opts.read_gap, opts.reads_per_reader,
-                stats != nullptr ? &stats->reads : nullptr);
+  for (int s = 0; s < d.shards(); ++s) {
+    write_stream(d, s, opts.start, opts.write_gap, opts.writes,
+                 stats != nullptr ? &stats->writes : nullptr);
+    for (int j = 0; j < d.res().num_readers; ++j) {
+      read_stream(d, s, j, opts.start + 500, opts.read_gap,
+                  opts.reads_per_reader,
+                  stats != nullptr ? &stats->reads : nullptr);
+    }
   }
 }
 
@@ -100,17 +117,20 @@ void sequential_then_reads(Deployment& d, int writes, int reads_per_reader,
                            MixedWorkloadStats* stats) {
   auto* write_stats = stats != nullptr ? &stats->writes : nullptr;
   auto* read_stats = stats != nullptr ? &stats->reads : nullptr;
-  // The write stream finishes before any read begins: the done-callback
-  // schedules the read streams, so every read is non-concurrent with every
-  // write and the checker's strictest branch (exact value pinning) applies.
-  write_stream(d, 0, 1'000, writes, write_stats,
-               [&d, reads_per_reader, read_stats]() {
-                 const Time start = d.world().now() + 10'000;
-                 for (int j = 0; j < d.res().num_readers; ++j) {
-                   read_stream(d, j, start, 2'000, reads_per_reader,
-                               read_stats);
-                 }
-               });
+  // Per shard, the write stream finishes before any of the shard's reads
+  // begin: the done-callback schedules the read streams, so every read is
+  // non-concurrent with every write of its own register and the checker's
+  // strictest branch (exact value pinning) applies.
+  for (int s = 0; s < d.shards(); ++s) {
+    write_stream(d, s, 0, 1'000, writes, write_stats,
+                 [&d, s, reads_per_reader, read_stats]() {
+                   const Time start = d.now() + 10'000;
+                   for (int j = 0; j < d.res().num_readers; ++j) {
+                     read_stream(d, s, j, start, 2'000, reads_per_reader,
+                                 read_stats);
+                   }
+                 });
+  }
 }
 
 }  // namespace rr::harness

@@ -2,7 +2,9 @@
 //
 // All workloads are chained through operation callbacks (one operation at a
 // time per client, matching Section 2.2) and record into the deployment's
-// HistoryLog, so any run can be checked post-hoc.
+// per-shard HistoryLogs, so any run -- on either backend, at any shard
+// count -- can be checked post-hoc. Streams target one shard; the mixed
+// workloads fan out over every shard of the deployment.
 #pragma once
 
 #include <functional>
@@ -21,20 +23,30 @@ namespace rr::harness {
   return "v" + std::to_string(k);
 }
 
-/// Schedules `count` writes starting at `start`; each subsequent write is
-/// invoked `gap` after the previous completed. Latencies/rounds are
-/// accumulated into `stats` when non-null.
+/// Schedules `count` writes on shard 0 starting at `start`; each subsequent
+/// write is invoked `gap` after the previous completed. Latencies/rounds
+/// are accumulated into `stats` when non-null.
 void write_stream(Deployment& d, Time start, Time gap, int count,
                   OpStats* stats = nullptr,
                   std::function<void()> on_done = nullptr);
+/// Same, on a specific shard.
+void write_stream(Deployment& d, int shard, Time start, Time gap, int count,
+                  OpStats* stats = nullptr,
+                  std::function<void()> on_done = nullptr);
 
-/// Schedules `count` reads by reader `j` in the same chained fashion.
+/// Schedules `count` reads by reader `j` (shard 0) in the same chained
+/// fashion.
 void read_stream(Deployment& d, int reader, Time start, Time gap, int count,
                  OpStats* stats = nullptr,
                  std::function<void()> on_done = nullptr);
+/// Same, on a specific shard.
+void read_stream(Deployment& d, int shard, int reader, Time start, Time gap,
+                 int count, OpStats* stats = nullptr,
+                 std::function<void()> on_done = nullptr);
 
-/// A mixed workload: one write stream plus one read stream per reader, all
-/// concurrent. Returns after scheduling; call d.run() to execute.
+/// A mixed workload: per shard, one write stream plus one read stream per
+/// reader, all concurrent. Returns after scheduling; call d.run() to
+/// execute.
 struct MixedWorkloadOptions {
   int writes{20};
   int reads_per_reader{20};
@@ -51,9 +63,10 @@ struct MixedWorkloadStats {
 void mixed_workload(Deployment& d, const MixedWorkloadOptions& opts,
                     MixedWorkloadStats* stats = nullptr);
 
-/// Read-only after a quiesced prefix of writes: writes run first (serially),
-/// then all reads start. Useful for "read not concurrent with write"
-/// experiments where safety must pin the exact returned value.
+/// Read-only after a quiesced prefix of writes, per shard: a shard's writes
+/// run first (serially), then all of its reads start. Useful for "read not
+/// concurrent with write" experiments where safety must pin the exact
+/// returned value.
 void sequential_then_reads(Deployment& d, int writes, int reads_per_reader,
                            MixedWorkloadStats* stats = nullptr);
 

@@ -1,0 +1,26 @@
+// Traffic statistics shared by every backend (the discrete-event simulator
+// and the threaded cluster account messages identically, so experiments can
+// compare byte/message counts across execution substrates).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <variant>
+
+#include "wire/messages.hpp"
+
+namespace rr::net {
+
+/// Aggregate traffic statistics, broken down by message type index.
+struct NetStats {
+  static constexpr std::size_t kNumTypes = std::variant_size_v<wire::Message>;
+
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t messages_dropped{0};  ///< sent to crashed processes
+  std::uint64_t bytes_sent{0};
+  std::array<std::uint64_t, kNumTypes> messages_by_type{};
+  std::array<std::uint64_t, kNumTypes> bytes_by_type{};
+};
+
+}  // namespace rr::net

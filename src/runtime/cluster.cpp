@@ -1,6 +1,10 @@
 #include "runtime/cluster.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/assert.hpp"
+#include "wire/codec.hpp"
 
 namespace rr::runtime {
 
@@ -44,8 +48,10 @@ void Cluster::start() {
   started_ = true;
   for (ProcessId pid = 0; pid < static_cast<ProcessId>(slots_.size());
        ++pid) {
+    auto& slot = *slots_[static_cast<std::size_t>(pid)];
+    if (slot.crashed.load(std::memory_order_relaxed)) continue;
     ClusterContext ctx(*this, pid);
-    slots_[static_cast<std::size_t>(pid)]->proc->on_start(ctx);
+    slot.proc->on_start(ctx);
   }
   for (ProcessId pid = 0; pid < static_cast<ProcessId>(slots_.size());
        ++pid) {
@@ -53,6 +59,7 @@ void Cluster::start() {
       threads_.emplace_back([this, pid] { thread_main(pid); });
     }
   }
+  timer_thread_ = std::thread([this] { timer_main(); });
 }
 
 void Cluster::stop() {
@@ -61,10 +68,15 @@ void Cluster::stop() {
     std::lock_guard lock(slot->mu);
     slot->cv.notify_all();
   }
+  {
+    std::lock_guard lock(timer_mu_);
+    timer_cv_.notify_all();
+  }
   for (auto& th : threads_) {
     if (th.joinable()) th.join();
   }
   threads_.clear();
+  if (timer_thread_.joinable()) timer_thread_.join();
 }
 
 void Cluster::with_context(ProcessId pid,
@@ -79,7 +91,7 @@ bool Cluster::drive(ProcessId pid, const std::function<bool()>& done,
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (!done()) {
     if (std::chrono::steady_clock::now() > deadline) return false;
-    Envelope env{kNoProcess, {}};
+    Envelope env;
     if (pop_one(pid, std::chrono::milliseconds(1), &env)) {
       dispatch(pid, std::move(env));
     }
@@ -98,14 +110,205 @@ Time Cluster::now() const {
                                .count());
 }
 
-void Cluster::route(ProcessId from, ProcessId to, wire::Message msg) {
-  RR_ASSERT(to >= 0 && to < static_cast<ProcessId>(slots_.size()));
-  auto& slot = *slots_[static_cast<std::size_t>(to)];
+net::NetStats Cluster::stats() const {
+  net::NetStats total;
+  for (const auto& slot : slots_) {
+    const auto& s = slot->local_stats;
+    total.messages_sent += s.messages_sent;
+    total.messages_delivered += s.messages_delivered;
+    total.messages_dropped += s.messages_dropped;
+    total.bytes_sent += s.bytes_sent;
+    for (std::size_t i = 0; i < net::NetStats::kNumTypes; ++i) {
+      total.messages_by_type[i] += s.messages_by_type[i];
+      total.bytes_by_type[i] += s.bytes_by_type[i];
+    }
+  }
+  total.messages_dropped += crash_dropped_.load(std::memory_order_acquire);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Timed closures + quiescence
+// ---------------------------------------------------------------------------
+
+void Cluster::post(Time at, ProcessId pid,
+                   std::function<void(net::Context&)> fn) {
+  RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(slots_.size()));
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(timer_mu_);
+    timer_heap_.push_back(TimedItem{at, timer_seq_++, pid, std::move(fn)});
+    std::push_heap(timer_heap_.begin(), timer_heap_.end(), &timed_later);
+  }
+  timer_cv_.notify_one();
+}
+
+void Cluster::timer_main() {
+  std::unique_lock lock(timer_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (timer_heap_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const Time due = timer_heap_.front().at;
+    if (due > now()) {
+      timer_cv_.wait_until(lock,
+                           epoch_ + std::chrono::nanoseconds(due));
+      continue;  // re-evaluate: an earlier item or stop may have arrived
+    }
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), &timed_later);
+    TimedItem item = std::move(timer_heap_.back());
+    timer_heap_.pop_back();
+    lock.unlock();
+    Envelope env;
+    env.fn = std::move(item.fn);
+    enqueue(item.pid, std::move(env), /*already_counted=*/true);
+    lock.lock();
+  }
+}
+
+void Cluster::enqueue(ProcessId pid, Envelope env, bool already_counted) {
+  if (!already_counted) pending_.fetch_add(1, std::memory_order_acq_rel);
+  auto& slot = *slots_[static_cast<std::size_t>(pid)];
   {
     std::lock_guard lock(slot.mu);
-    slot.inbox.push_back(Envelope{from, std::move(msg)});
+    slot.inbox.push_back(std::move(env));
   }
   slot.cv.notify_one();
+}
+
+void Cluster::finish_work_item() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+bool Cluster::run_quiescent(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(quiesce_mu_);
+  return quiesce_cv_.wait_for(lock, timeout, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Crashes and held channels
+// ---------------------------------------------------------------------------
+
+void Cluster::crash(ProcessId pid) {
+  RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(slots_.size()));
+  slots_[static_cast<std::size_t>(pid)]->crashed.store(
+      true, std::memory_order_release);
+  if (held_count_.load(std::memory_order_acquire) == 0) return;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard lock(chan_mu_);
+    for (auto it = held_buffers_.begin(); it != held_buffers_.end();) {
+      const auto from = static_cast<ProcessId>(it->first >> 32);
+      const auto to = static_cast<ProcessId>(it->first & 0xffffffffu);
+      if (from != pid && to != pid) {
+        ++it;
+        continue;
+      }
+      dropped += it->second.size();
+      it->second.clear();  // channel stays held; only the buffer drains
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    crash_dropped_.fetch_add(dropped, std::memory_order_acq_rel);
+  }
+}
+
+bool Cluster::crashed(ProcessId pid) const {
+  RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(slots_.size()));
+  return slots_[static_cast<std::size_t>(pid)]->crashed.load(
+      std::memory_order_acquire);
+}
+
+void Cluster::hold(ProcessId from, ProcessId to) {
+  RR_ASSERT(from >= 0 && from < static_cast<ProcessId>(slots_.size()));
+  RR_ASSERT(to >= 0 && to < static_cast<ProcessId>(slots_.size()));
+  std::lock_guard lock(chan_mu_);
+  const auto [it, inserted] = held_buffers_.try_emplace(chan_key(from, to));
+  (void)it;
+  if (inserted) held_count_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Cluster::hold_all(ProcessId pid) {
+  for (ProcessId q = 0; q < static_cast<ProcessId>(slots_.size()); ++q) {
+    if (q == pid) continue;  // the self-channel pid -> pid is never used
+    hold(pid, q);
+    hold(q, pid);
+  }
+}
+
+bool Cluster::held(ProcessId from, ProcessId to) const {
+  std::lock_guard lock(chan_mu_);
+  return held_buffers_.count(chan_key(from, to)) != 0;
+}
+
+void Cluster::release(ProcessId from, ProcessId to) {
+  std::vector<Envelope> buffered;
+  {
+    std::lock_guard lock(chan_mu_);
+    const auto it = held_buffers_.find(chan_key(from, to));
+    if (it == held_buffers_.end()) return;
+    buffered = std::move(it->second);
+    held_buffers_.erase(it);
+    held_count_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  // FIFO re-injection outside the channel lock: a concurrent send on the
+  // just-released channel may overtake the backlog, which is legal under
+  // the asynchronous model (fresh delays on release, as in the DES).
+  for (auto& env : buffered) {
+    enqueue(to, std::move(env), /*already_counted=*/false);
+  }
+}
+
+void Cluster::release_all(ProcessId pid) {
+  for (ProcessId q = 0; q < static_cast<ProcessId>(slots_.size()); ++q) {
+    release(pid, q);
+    release(q, pid);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+void Cluster::route(ProcessId from, ProcessId to, wire::Message msg) {
+  RR_ASSERT(from >= 0 && from < static_cast<ProcessId>(slots_.size()));
+  RR_ASSERT(to >= 0 && to < static_cast<ProcessId>(slots_.size()));
+  // Sender-side accounting: only the thread currently stepping `from`
+  // calls route() for it, so its slot counters need no lock.
+  auto& sent = slots_[static_cast<std::size_t>(from)]->local_stats;
+  sent.messages_sent++;
+  sent.messages_by_type[msg.index()]++;
+  if (opts_.account_bytes) {
+    const std::size_t n = wire::encoded_size(msg);
+    sent.bytes_sent += n;
+    sent.bytes_by_type[msg.index()] += n;
+  }
+  if (crashed(from) || crashed(to)) {
+    sent.messages_dropped++;
+    return;
+  }
+  if (held_count_.load(std::memory_order_acquire) != 0) {
+    std::lock_guard lock(chan_mu_);
+    const auto it = held_buffers_.find(chan_key(from, to));
+    if (it != held_buffers_.end()) {
+      Envelope env;
+      env.from = from;
+      env.msg = std::move(msg);
+      it->second.push_back(std::move(env));
+      return;
+    }
+  }
+  Envelope env;
+  env.from = from;
+  env.msg = std::move(msg);
+  enqueue(to, std::move(env), /*already_counted=*/false);
 }
 
 bool Cluster::pop_one(ProcessId pid, std::chrono::milliseconds wait,
@@ -124,20 +327,45 @@ bool Cluster::pop_one(ProcessId pid, std::chrono::milliseconds wait,
 }
 
 void Cluster::dispatch(ProcessId pid, Envelope env) {
+  auto& slot = *slots_[static_cast<std::size_t>(pid)];
   if (opts_.max_jitter_us > 0) {
-    auto& slot = *slots_[static_cast<std::size_t>(pid)];
     const auto us = slot.rng.uniform(0, opts_.max_jitter_us);
     if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
-  delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (slot.crashed.load(std::memory_order_acquire)) {
+    // Crashed processes take no steps; their queued messages are lost and
+    // posted closures are skipped (as under the DES).
+    if (!env.fn) slot.local_stats.messages_dropped++;
+    finish_work_item();
+    return;
+  }
   ClusterContext ctx(*this, pid);
-  slots_[static_cast<std::size_t>(pid)]->proc->on_message(ctx, env.from,
-                                                          env.msg);
+  if (env.fn) {
+    env.fn(ctx);
+  } else if (crashed(env.from)) {
+    // Mirror the DES: a crashed sender's in-flight messages are lost too
+    // (legal in a partial run; keeps crash semantics identical across
+    // backends).
+    slot.local_stats.messages_dropped++;
+    finish_work_item();
+    return;
+  } else {
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    slot.local_stats.messages_delivered++;
+    if (opts_.reserialize) {
+      auto round_tripped = wire::decode(wire::encode(env.msg));
+      RR_ASSERT_MSG(round_tripped.has_value(), "codec must round-trip");
+      slot.proc->on_message(ctx, env.from, *round_tripped);
+    } else {
+      slot.proc->on_message(ctx, env.from, env.msg);
+    }
+  }
+  finish_work_item();
 }
 
 void Cluster::thread_main(ProcessId pid) {
   while (!stopping_.load(std::memory_order_relaxed)) {
-    Envelope env{kNoProcess, {}};
+    Envelope env;
     if (pop_one(pid, std::chrono::milliseconds(50), &env)) {
       dispatch(pid, std::move(env));
     }

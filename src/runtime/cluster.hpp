@@ -2,31 +2,46 @@
 // discrete-event simulator, deployed on real threads with mailbox queues.
 //
 // Processes come in two kinds:
-//   active   -- base objects / servers: each gets its own thread draining
-//               its mailbox,
-//   passive  -- clients: owned by a caller thread, which drives the
-//               automaton via drive() / with_context() (this realizes
-//               blocking operations without the automaton ever blocking).
+//   active   -- each gets its own thread draining its mailbox (base objects,
+//               servers, and harness-driven clients),
+//   passive  -- owned by a caller thread, which drives the automaton via
+//               drive() / with_context() (this realizes blocking operations
+//               without the automaton ever blocking).
 //
 // Every automaton is only ever touched by its owning thread, so the
 // protocol code needs no synchronization -- exactly as under the DES.
 // Message transport is a mutex+condvar MPSC queue per process; an optional
 // jitter makes thread interleavings more adversarial in tests.
+//
+// Beyond raw transport the cluster supports the same experiment surface as
+// sim::World, so the harness can drive either backend through one
+// interface:
+//   - post(at, pid, fn): timed closure steps (a timer thread moves due
+//     closures into the target's mailbox),
+//   - crash(pid) and held channels (hold/release buffers messages exactly
+//     like the proofs' "messages remain in transit" tactic),
+//   - run_quiescent(): blocks until no queued, buffered-timer, or in-flight
+//     work remains (held-channel buffers do not count, mirroring World::run),
+//   - NetStats accounting identical to the simulator's (same counting
+//     visitor for bytes), plus optional codec round-tripping per delivery.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/process.hpp"
+#include "net/stats.hpp"
 
 namespace rr::runtime {
 
@@ -35,6 +50,11 @@ struct ClusterOptions {
   /// Maximum artificial delivery jitter (microseconds, sampled uniformly;
   /// 0 disables). Applied by the receiving thread, so senders never block.
   std::uint32_t max_jitter_us{0};
+  /// Account encoded bytes for every message (same counting visitor as the
+  /// simulator, so cross-backend byte counts are comparable).
+  bool account_bytes{true};
+  /// Round-trip every message through the binary codec before delivery.
+  bool reserialize{false};
 };
 
 class Cluster {
@@ -60,31 +80,96 @@ class Cluster {
   bool drive(ProcessId pid, const std::function<bool()>& done,
              std::chrono::milliseconds timeout);
 
+  /// Schedules `fn` to run as a step of process `pid` at time `at`
+  /// (nanoseconds on the cluster clock; values in the past run immediately).
+  /// Thread-safe; may be called before start().
+  void post(Time at, ProcessId pid, std::function<void(net::Context&)> fn);
+
+  /// Blocks until no work remains: empty mailboxes, no pending timers, no
+  /// step in flight. Messages buffered on held channels do not count.
+  /// Returns false on timeout.
+  bool run_quiescent(std::chrono::milliseconds timeout);
+
+  /// Crash: the process takes no further steps; queued and future messages
+  /// to or from it are dropped, as are messages buffered on held channels
+  /// adjacent to it.
+  void crash(ProcessId pid);
+  [[nodiscard]] bool crashed(ProcessId pid) const;
+
+  /// Holds a channel: messages sent from -> to are buffered, not delivered.
+  void hold(ProcessId from, ProcessId to);
+  /// Holds every channel adjacent to `pid` except the unused self-channel.
+  void hold_all(ProcessId pid);
+  /// Releases a channel; buffered messages are enqueued in FIFO order.
+  void release(ProcessId from, ProcessId to);
+  void release_all(ProcessId pid);
+  [[nodiscard]] bool held(ProcessId from, ProcessId to) const;
+
   [[nodiscard]] net::Process& process(ProcessId pid);
+  [[nodiscard]] int num_processes() const {
+    return static_cast<int>(slots_.size());
+  }
   [[nodiscard]] Time now() const;
   [[nodiscard]] std::uint64_t messages_delivered() const {
     return delivered_.load(std::memory_order_relaxed);
   }
+  /// Aggregated traffic statistics. Counters live per slot and are written
+  /// lock-free by their owning threads; call this only after the cluster
+  /// has quiesced (run_quiescent) or stopped for exact numbers.
+  [[nodiscard]] net::NetStats stats() const;
 
  private:
   friend class ClusterContext;
 
   struct Envelope {
-    ProcessId from;
-    wire::Message msg;
+    ProcessId from{kNoProcess};
+    wire::Message msg{};
+    std::function<void(net::Context&)> fn{};  ///< non-null: closure step
   };
 
   struct Slot {
     std::unique_ptr<net::Process> proc;
     bool active{false};
     Rng rng{0};
+    std::atomic<bool> crashed{false};
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Envelope> inbox;
+    /// Per-slot traffic counters, lock-free by ownership: sender-side
+    /// fields are written only by the (unique) thread currently stepping
+    /// this process, delivery-side fields only by its mailbox thread.
+    /// stats() aggregates after quiescence.
+    net::NetStats local_stats;
   };
 
+  struct TimedItem {
+    Time at{};
+    std::uint64_t seq{};
+    ProcessId pid{kNoProcess};
+    std::function<void(net::Context&)> fn{};
+  };
+
+  /// Heap order for timer_heap_ (min-heap on (at, seq)); the single source
+  /// of truth for both push_heap in post() and pop_heap in timer_main().
+  [[nodiscard]] static bool timed_later(const TimedItem& a,
+                                        const TimedItem& b) {
+    return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+  }
+
+  [[nodiscard]] static std::uint64_t chan_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
   void route(ProcessId from, ProcessId to, wire::Message msg);
+  /// Appends to `pid`'s mailbox. `counted` says whether this work item was
+  /// already added to pending_ (timer items are counted at post() time so
+  /// quiescence never observes a gap between timer pop and enqueue).
+  void enqueue(ProcessId pid, Envelope env, bool counted);
+  void finish_work_item();
   void thread_main(ProcessId pid);
+  void timer_main();
   bool pop_one(ProcessId pid, std::chrono::milliseconds wait, Envelope* out);
   void dispatch(ProcessId pid, Envelope env);
 
@@ -92,10 +177,32 @@ class Cluster {
   Rng seeder_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::thread> threads_;
+  std::thread timer_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> delivered_{0};
   bool started_{false};
   std::chrono::steady_clock::time_point epoch_;
+
+  // Timed closures, ordered by (at, seq).
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::vector<TimedItem> timer_heap_;
+  std::uint64_t timer_seq_{0};
+
+  // Outstanding work: queued envelopes + pending timers + steps in flight.
+  std::atomic<std::int64_t> pending_{0};
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+
+  // Held channels (cold path: guarded by one mutex; the atomic count keeps
+  // the no-holds fast path lock-free).
+  mutable std::mutex chan_mu_;
+  std::atomic<std::size_t> held_count_{0};
+  std::unordered_map<std::uint64_t, std::vector<Envelope>> held_buffers_;
+
+  /// Held-buffer messages discarded by crash(); kept apart from the
+  /// per-slot counters because crash() may run on any thread.
+  std::atomic<std::uint64_t> crash_dropped_{0};
 };
 
 }  // namespace rr::runtime

@@ -132,6 +132,21 @@ void World::post(Time at, ProcessId pid,
 // Crashes and held channels
 // ---------------------------------------------------------------------------
 
+World::BufferIndex World::alloc_buffer() {
+  if (!buffer_free_.empty()) {
+    const BufferIndex idx = buffer_free_.back();
+    buffer_free_.pop_back();
+    return idx;
+  }
+  buffer_pool_.emplace_back();
+  return static_cast<BufferIndex>(buffer_pool_.size() - 1);
+}
+
+void World::recycle_buffer(BufferIndex idx) {
+  buffer_pool_[idx].clear();  // keeps capacity for the next hold wave
+  buffer_free_.push_back(idx);
+}
+
 void World::crash(ProcessId pid) {
   RR_ASSERT(pid >= 0 && pid < num_processes());
   procs_[static_cast<std::size_t>(pid)].crashed = true;
@@ -139,12 +154,16 @@ void World::crash(ProcessId pid) {
   // messages could only ever be dropped at delivery, so freeing them now
   // keeps long chaos runs from pinning dead history payloads.
   if (held_count_ == 0) return;
-  for (auto& [key, buffer] : held_buffers_) {
-    const auto from = static_cast<ProcessId>(key >> 32);
-    const auto to = static_cast<ProcessId>(key & 0xffffffffu);
-    if (from != pid && to != pid) continue;
-    stats_.messages_dropped += buffer.size();
-    buffer.clear();
+  for (auto it = held_buffers_.begin(); it != held_buffers_.end();) {
+    const auto from = static_cast<ProcessId>(it->first >> 32);
+    const auto to = static_cast<ProcessId>(it->first & 0xffffffffu);
+    if (from != pid && to != pid) {
+      ++it;
+      continue;
+    }
+    stats_.messages_dropped += buffer_pool_[it->second].size();
+    recycle_buffer(it->second);
+    it = held_buffers_.erase(it);
   }
 }
 
@@ -197,14 +216,17 @@ void World::release(ProcessId from, ProcessId to) {
   --held_count_;
   const auto it = held_buffers_.find(chan_key(from, to));
   if (it == held_buffers_.end()) return;
-  auto buffered = std::move(it->second);
+  const BufferIndex idx = it->second;
   held_buffers_.erase(it);
   // Re-inject with fresh delays from `now`, preserving send order via the
-  // monotonically increasing sequence numbers.
-  for (auto& msg : buffered) {
+  // monotonically increasing sequence numbers. Scheduling only touches the
+  // event slab, never the buffer pool, so draining in place is safe; the
+  // drained buffer goes back to the free list with its capacity intact.
+  for (auto& msg : buffer_pool_[idx]) {
     const Time d = delay_->sample(from, to, now_, rng_);
     schedule_delivery(from, to, std::move(msg), now_ + d);
   }
+  recycle_buffer(idx);
 }
 
 void World::release_all(ProcessId pid) {
@@ -236,7 +258,9 @@ void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
       stats_.messages_dropped++;
       return;
     }
-    held_buffers_[chan_key(from, to)].push_back(std::move(msg));
+    auto [it, inserted] = held_buffers_.try_emplace(chan_key(from, to), 0);
+    if (inserted) it->second = alloc_buffer();
+    buffer_pool_[it->second].push_back(std::move(msg));
     return;
   }
   const Time d = delay_->sample(from, to, now_, rng_);

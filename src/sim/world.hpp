@@ -27,7 +27,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -38,22 +37,15 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/process.hpp"
+#include "net/stats.hpp"
 #include "sim/delay.hpp"
 #include "wire/messages.hpp"
 
 namespace rr::sim {
 
-/// Aggregate traffic statistics, broken down by message type index.
-struct NetStats {
-  static constexpr std::size_t kNumTypes = std::variant_size_v<wire::Message>;
-
-  std::uint64_t messages_sent{0};
-  std::uint64_t messages_delivered{0};
-  std::uint64_t messages_dropped{0};  ///< sent to crashed processes
-  std::uint64_t bytes_sent{0};
-  std::array<std::uint64_t, kNumTypes> messages_by_type{};
-  std::array<std::uint64_t, kNumTypes> bytes_by_type{};
-};
+/// Traffic statistics now live in net::NetStats (shared with the threaded
+/// cluster so cross-backend experiments account traffic identically).
+using NetStats = net::NetStats;
 
 struct WorldOptions {
   std::uint64_t seed{1};
@@ -198,10 +190,21 @@ class World {
   std::vector<EventIndex> free_;    ///< recycled slab slots
   std::vector<EventIndex> heap_;    ///< 4-ary min-heap of slab indices
 
+  // Held-channel buffers live in a pooled arena: each held channel owns one
+  // recycled std::vector<Message> (FIFO by construction -- buffers are only
+  // appended to, and drained whole on release/crash). Returning a drained
+  // buffer to the free list keeps its capacity, so steady-state hold/release
+  // waves buffer messages without per-message or per-wave allocation.
+  using BufferIndex = std::uint32_t;
+  [[nodiscard]] BufferIndex alloc_buffer();
+  void recycle_buffer(BufferIndex idx);
+
   std::size_t held_count_{0};       ///< number of currently held channels
   std::size_t flag_stride_{0};      ///< row width of held_flags_
   std::vector<std::uint8_t> held_flags_;
-  std::unordered_map<std::uint64_t, std::deque<wire::Message>> held_buffers_;
+  std::unordered_map<std::uint64_t, BufferIndex> held_buffers_;
+  std::vector<std::vector<wire::Message>> buffer_pool_;
+  std::vector<BufferIndex> buffer_free_;
 
   std::unique_ptr<DelayModel> delay_;
   NetStats stats_;

@@ -427,6 +427,15 @@ bool get_body(ByteReader& r, ScGossipMsg& m) {
   return r.u64(m.ts) && get(r, m.pw) && get(r, m.w);
 }
 
+template <class W>
+void put_body(W& w, const ShardMsg& m) {
+  w.u32(m.reg);
+  w.bytes(m.payload);
+}
+bool get_body(ByteReader& r, ShardMsg& m) {
+  return r.u32(m.reg) && r.bytes(m.payload);
+}
+
 // ---------------------------------------------------------------------------
 // Variant dispatch
 // ---------------------------------------------------------------------------
@@ -478,7 +487,7 @@ const char* type_name(const Message& m) {
       "BL_WRITE",  "BL_WRITE_ACK", "FW_WRITE", "FW_WRITE_ACK",
       "POLL",      "POLL_ACK",
       "AUTH_WRITE", "AUTH_WRITE_ACK", "AUTH_READ", "AUTH_READ_ACK",
-      "SC_READ",   "SC_PUSH",     "SC_GOSSIP"};
+      "SC_READ",   "SC_PUSH",     "SC_GOSSIP",  "SHARD"};
   static_assert(std::variant_size_v<Message> ==
                 sizeof(kNames) / sizeof(kNames[0]));
   return kNames[m.index()];

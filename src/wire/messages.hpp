@@ -338,13 +338,30 @@ struct ScGossipMsg {
 };
 
 // ---------------------------------------------------------------------------
+// Multi-register sharding (src/harness/shard.*)
+// ---------------------------------------------------------------------------
+
+/// Shard envelope: tags a protocol message with the register instance it
+/// belongs to. Sharded deployments run K independent SWMR emulations over
+/// the same base-object processes; every message between a shard's clients
+/// and the objects travels wrapped in a ShardMsg, and the object host
+/// demultiplexes on `reg`. The payload is the inner message's canonical
+/// encoding, so the envelope is a real wire format (byte accounting and
+/// reserialization see exactly what a network would carry).
+struct ShardMsg {
+  RegisterId reg{0};
+  std::string payload{};  ///< wire::encode() of the inner Message
+  friend bool operator==(const ShardMsg&, const ShardMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
 
 using Message = std::variant<
     PwMsg, PwAckMsg, WMsg, WAckMsg, ReadMsg, ReadAckMsg, HistReadAckMsg,
     AbdStoreMsg, AbdStoreAckMsg, AbdQueryMsg, AbdQueryAckMsg,
     BlWriteMsg, BlWriteAckMsg, FwWriteMsg, FwWriteAckMsg, PollMsg, PollAckMsg,
     AuthWriteMsg, AuthWriteAckMsg, AuthReadMsg, AuthReadAckMsg,
-    ScReadMsg, ScPushMsg, ScGossipMsg>;
+    ScReadMsg, ScPushMsg, ScGossipMsg, ShardMsg>;
 
 /// Human-readable tag, for traces and test failure messages.
 [[nodiscard]] const char* type_name(const Message& m);

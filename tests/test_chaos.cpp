@@ -8,6 +8,7 @@
 #include "harness/chaos.hpp"
 #include "harness/deployment.hpp"
 #include "harness/workload.hpp"
+#include "sim/world.hpp"
 
 namespace rr {
 namespace {

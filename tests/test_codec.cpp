@@ -52,6 +52,7 @@ std::vector<Message> all_message_samples() {
       ScReadMsg{15},
       ScPushMsg{15, 3, TsVal{2, "s"}, TsVal{2, "s"}},
       ScGossipMsg{9, TsVal{9, "g"}, TsVal{8, "g8"}},
+      ShardMsg{3, encode(Message{WAckMsg{5}})},
   };
 }
 
@@ -231,13 +232,14 @@ Message random_message(std::size_t variant, Rng& rng) {
     case 21: return ScReadMsg{u64v()};
     case 22: return ScPushMsg{u64v(), u32v(), random_tsval(rng), random_tsval(rng)};
     case 23: return ScGossipMsg{u64v(), random_tsval(rng), random_tsval(rng)};
+    case 24: return ShardMsg{u32v(), random_value(rng)};
     default: break;
   }
   return WAckMsg{0};
 }
 
 TEST(CodecTest, EncodedSizePropertyAllVariants) {
-  static_assert(std::variant_size_v<Message> == 24);
+  static_assert(std::variant_size_v<Message> == 25);
   Rng rng(424242);
   for (std::size_t variant = 0; variant < std::variant_size_v<Message>;
        ++variant) {

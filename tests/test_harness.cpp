@@ -8,6 +8,7 @@
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "sim/world.hpp"
 
 namespace rr::harness {
 namespace {

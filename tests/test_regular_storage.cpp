@@ -7,6 +7,7 @@
 #include "harness/deployment.hpp"
 #include "harness/workload.hpp"
 #include "objects/regular_object.hpp"
+#include "sim/world.hpp"
 
 namespace rr {
 namespace {

@@ -8,6 +8,7 @@
 #include "core/writer.hpp"
 #include "harness/deployment.hpp"
 #include "harness/workload.hpp"
+#include "sim/world.hpp"
 
 namespace rr {
 namespace {
