@@ -25,7 +25,7 @@ void print_lower_bound_table() {
   harness::Table table({"t", "b", "S=2t+2b", "rule", "views identical",
                         "run4 (missed write)", "run5 (forged value)",
                         "bound confirmed"});
-  for (const auto [t, b] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 2}, {3, 3},
+  for (const auto& [t, b] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 2}, {3, 3},
                             {4, 4}, {5, 5}}) {
     for (const bool aggressive : {false, true}) {
       Resilience res;
@@ -52,7 +52,7 @@ void print_control_table() {
       "S = 2t+b+1 ===\n");
   harness::Table table({"t", "b", "S=2t+b+1", "strategy", "reads checked",
                         "violations"});
-  for (const auto [t, b] : {std::pair{1, 1}, {2, 2}, {3, 3}}) {
+  for (const auto& [t, b] : {std::pair{1, 1}, {2, 2}, {3, 3}}) {
     for (const auto kind :
          {adversary::StrategyKind::Forger, adversary::StrategyKind::Collude,
           adversary::StrategyKind::Amnesiac}) {

@@ -1,0 +1,154 @@
+// Per-operation latency profile: every registered protocol on both
+// execution backends, reporting the Deployment's LatencyRecorder
+// percentiles (p50/p95/p99/max) for WRITE and READ separately, in backend
+// clock units -- virtual ns on the DES, wall-clock ns on threads.
+//
+// This is the empirical face of the paper's "how fast can a read be?": the
+// same mixed workload runs against each protocol family, and the profile
+// shows what the round structure (1-round auth reads, 2-round safe reads,
+// polling's b+1 rounds, ...) costs end to end under identical delays.
+//
+// Emits BENCH_latency_profile.json: one record per protocol x backend with
+// op counts and percentiles for writes and reads.
+//
+//   --backend=des|threads|both   restrict the sweep (default both)
+//   --quick                      smaller op budget (CI smoke mode)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/deployment.hpp"
+#include "harness/latency.hpp"
+#include "harness/protocol.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace rr;
+
+struct ProfileRow {
+  std::string protocol;
+  std::string backend;
+  std::uint64_t writes{0};
+  std::uint64_t reads{0};
+  harness::LatencyRecorder write_lat;
+  harness::LatencyRecorder read_lat;
+};
+
+ProfileRow profile(const harness::ProtocolTraits& traits,
+                   harness::BackendKind backend, int ops) {
+  harness::DeploymentOptions opts;
+  opts.protocol = traits.id;
+  opts.backend = backend;
+  opts.res = traits.resilience_for(2, 2, 2);
+  opts.seed = 9157;
+  opts.delay = harness::DelayKind::Uniform;
+  opts.delay_lo = 1'000;
+  opts.delay_hi = 10'000;
+  harness::Deployment d(opts);
+  harness::MixedWorkloadOptions w;
+  w.writes = ops;
+  w.reads_per_reader = ops;
+  harness::mixed_workload(d, w);
+  d.run();
+
+  ProfileRow row;
+  row.protocol = traits.cli_name;
+  row.backend = harness::to_string(backend);
+  row.write_lat = d.write_latency();
+  row.read_lat = d.read_latency();
+  row.writes = row.write_lat.count();
+  row.reads = row.read_lat.count();
+  return row;
+}
+
+void append_json(std::string& out, const ProfileRow& r, bool last) {
+  char buf[768];
+  const auto& w = r.write_lat;
+  const auto& rd = r.read_lat;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"protocol\": \"%s\", \"backend\": \"%s\", \"clock\": \"%s\",\n"
+      "     \"writes\": {\"count\": %llu, \"p50\": %llu, \"p95\": %llu, "
+      "\"p99\": %llu, \"max\": %llu},\n"
+      "     \"reads\": {\"count\": %llu, \"p50\": %llu, \"p95\": %llu, "
+      "\"p99\": %llu, \"max\": %llu}}%s\n",
+      r.protocol.c_str(), r.backend.c_str(),
+      r.backend == "des" ? "virtual_ns" : "wall_ns",
+      static_cast<unsigned long long>(w.count()),
+      static_cast<unsigned long long>(w.p50()),
+      static_cast<unsigned long long>(w.p95()),
+      static_cast<unsigned long long>(w.p99()),
+      static_cast<unsigned long long>(w.max()),
+      static_cast<unsigned long long>(rd.count()),
+      static_cast<unsigned long long>(rd.p50()),
+      static_cast<unsigned long long>(rd.p95()),
+      static_cast<unsigned long long>(rd.p99()),
+      static_cast<unsigned long long>(rd.max()), last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool run_des = true;
+  bool run_threads = true;
+  int des_ops = 200;
+  int thread_ops = 25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      des_ops = 40;
+      thread_ops = 8;
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      const std::string v = argv[i] + 10;
+      if (v == "both") {
+        run_des = run_threads = true;
+      } else if (const auto kind = harness::backend_from_name(v)) {
+        run_des = *kind == harness::BackendKind::Sim;
+        run_threads = *kind == harness::BackendKind::Threads;
+      } else {
+        std::fprintf(stderr, "unknown backend '%s' (known: des, threads, "
+                             "both)\n", v.c_str());
+        return 2;
+      }
+    }
+  }
+
+  std::vector<ProfileRow> rows;
+  for (const auto& traits : harness::protocol_registry()) {
+    if (run_des) {
+      rows.push_back(profile(traits, harness::BackendKind::Sim, des_ops));
+    }
+    if (run_threads) {
+      rows.push_back(
+          profile(traits, harness::BackendKind::Threads, thread_ops));
+    }
+  }
+
+  std::printf("=== per-operation latency profile (t=2, b=2 where "
+              "applicable; uniform delays 1-10us virtual) ===\n");
+  harness::Table table({"protocol", "backend", "ops", "wr p50 us", "wr p99 us",
+                        "rd p50 us", "rd p95 us", "rd p99 us", "rd max us"});
+  for (const auto& r : rows) {
+    table.add_row(r.protocol, r.backend, r.writes + r.reads,
+                  r.write_lat.p50() / 1000.0, r.write_lat.p99() / 1000.0,
+                  r.read_lat.p50() / 1000.0, r.read_lat.p95() / 1000.0,
+                  r.read_lat.p99() / 1000.0, r.read_lat.max() / 1000.0);
+  }
+  table.print();
+
+  std::string json = "{\n  \"bench\": \"latency_profile\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    append_json(json, rows[i], i + 1 == rows.size());
+  }
+  json += "  ]\n}\n";
+  FILE* out = std::fopen("BENCH_latency_profile.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_latency_profile.json\n");
+  }
+  return 0;
+}

@@ -31,7 +31,7 @@ void print_rounds_table() {
                         "write rounds (min/max)", "read rounds (min/max)",
                         "consistency"});
   std::vector<Row> rows;
-  for (const auto [t, b] :
+  for (const auto& [t, b] :
        {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 3}, {4, 2}, {5, 5}}) {
     for (const auto proto :
          {harness::Protocol::Safe, harness::Protocol::Regular}) {

@@ -72,7 +72,7 @@ void print_soak_table(int seeds) {
                         "stuck ops", "violations"});
   for (const auto proto : {harness::Protocol::Safe, harness::Protocol::Regular,
                            harness::Protocol::RegularOptimized}) {
-    for (const auto [t, b] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 3},
+    for (const auto& [t, b] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 3},
                               {4, 2}}) {
       const auto r = soak(proto, t, b, seeds);
       table.add_row(harness::to_string(proto), t, b, r.runs,

@@ -23,7 +23,7 @@ void print_object_scaling() {
       "5us links) ===\n");
   harness::Table table({"t", "b", "S", "msgs/op", "bytes/op", "rd p50 us",
                         "rd rounds"});
-  for (const auto [t, b] : {std::pair{1, 1}, {2, 2}, {4, 4}, {6, 6}, {8, 8},
+  for (const auto& [t, b] : {std::pair{1, 1}, {2, 2}, {4, 4}, {6, 6}, {8, 8},
                             {10, 10}}) {
     harness::DeploymentOptions opts;
     opts.protocol = harness::Protocol::Safe;

@@ -91,7 +91,7 @@ void print_sc_table() {
   harness::Table table({"t", "b", "readers", "reads", "client rounds",
                         "read p50 us", "pushes total", "gossip msgs",
                         "violations"});
-  for (const auto [t, b] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 3}}) {
+  for (const auto& [t, b] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 3}}) {
     for (const int readers : {1, 3}) {
       const auto s = run_sc(t, b, readers, 12, 17 + static_cast<std::uint64_t>(
                                                      t * 10 + b));
@@ -106,7 +106,7 @@ void print_sc_table() {
       "\n--- lower bound migrates (Section 6): Figure 1 vs push-style fast "
       "reads at S = 2t+2b ---\n");
   harness::Table lb({"t", "b", "S", "views identical", "safety violated"});
-  for (const auto [t, b] : {std::pair{1, 1}, {2, 2}, {4, 3}}) {
+  for (const auto& [t, b] : {std::pair{1, 1}, {2, 2}, {4, 3}}) {
     Resilience res;
     res.t = t;
     res.b = b;

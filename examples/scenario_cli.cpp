@@ -1,9 +1,10 @@
 // Scenario CLI: drive any protocol deployment from the command line, on
 // either execution backend, with any number of register shards.
 //
-//   $ ./example_scenario_cli --protocol=safe --t=2 --b=2 --readers=3 \
-//       --byzantine=forger --crashes=0 --writes=20 --reads=20 \
+//   $ ./example_scenario_cli --protocol=safe --t=2 --b=2 --readers=3
+//       --byzantine=forger --crashes=0 --writes=20 --reads=20
 //       --backend=threads --shards=4 --chaos --seed=42
+//   (one command line; wrapped here for width)
 //
 // Prints the run's operation log summary, round counts, network statistics
 // and the per-shard consistency verdict. Useful for poking at corner
@@ -176,9 +177,24 @@ int main(int argc, char** argv) {
                     std::to_string(stats.reads.rounds_max()));
   table.add_row("latency p50 us", stats.writes.latency_p50() / 1000.0,
                 stats.reads.latency_p50() / 1000.0);
+  table.add_row("latency p95 us", stats.writes.latency_p95() / 1000.0,
+                stats.reads.latency_p95() / 1000.0);
   table.add_row("latency p99 us", stats.writes.latency_p99() / 1000.0,
                 stats.reads.latency_p99() / 1000.0);
+  table.add_row("latency max us", stats.writes.latency_max() / 1000.0,
+                stats.reads.latency_max() / 1000.0);
   table.print();
+
+  // The deployment-level histogram sees every operation (all shards, all
+  // readers) in backend clock units -- virtual ns on the DES, wall ns on
+  // threads.
+  const auto& wl = d.write_latency();
+  const auto& rl = d.read_latency();
+  std::printf("latency histogram (us): writes p50/p95/p99/max = "
+              "%.1f/%.1f/%.1f/%.1f, reads = %.1f/%.1f/%.1f/%.1f\n",
+              wl.p50() / 1000.0, wl.p95() / 1000.0, wl.p99() / 1000.0,
+              wl.max() / 1000.0, rl.p50() / 1000.0, rl.p95() / 1000.0,
+              rl.p99() / 1000.0, rl.max() / 1000.0);
 
   const auto net = d.stats();
   std::printf("network: %llu msgs (%llu bytes) sent, %llu delivered, %llu "

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's Markdown files.
+
+Scans every *.md file (excluding build directories), extracts inline
+Markdown links and images, and verifies that each relative target exists
+on disk (anchors and URL fragments are stripped; absolute URLs and
+mailto: links are ignored). Exits nonzero listing every broken link.
+
+Usage: scripts/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+import urllib.parse
+
+# Inline links/images: [text](target) / ![alt](target). Excludes targets
+# with spaces-only and code spans handled below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {"build", "build-tsan", ".git", ".cache"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        for lineno, target in links_in(md):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            # Strip fragment/query, decode %20-style escapes.
+            path = urllib.parse.unquote(target.split("#", 1)[0].split("?", 1)[0])
+            if not path:
+                continue
+            if path.startswith("/"):
+                resolved = os.path.join(root, path.lstrip("/"))
+            else:
+                resolved = os.path.join(os.path.dirname(md), path)
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append(
+                    f"{os.path.relpath(md, root)}:{lineno}: broken link "
+                    f"'{target}' (resolved to {os.path.relpath(resolved, root)})"
+                )
+    if broken:
+        print(f"{len(broken)} broken link(s):")
+        for b in broken:
+            print("  " + b)
+        return 1
+    print(f"OK: {checked} relative link(s) across *.md resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+// Move-only callable wrapper with small-buffer storage.
+//
+// std::function heap-allocates any capture larger than its tiny SSO buffer
+// (two pointers on libstdc++), which makes every timer post in the harness
+// hot path an allocation: the Deployment's invocation closures capture a
+// Value string plus a completion callback. SmallFn stores callables up to
+// `Cap` bytes inline in the owning object -- for the simulator that means
+// inside the recycled event slab, so a steady-state post() performs no heap
+// allocation at all. Larger callables transparently fall back to the heap.
+//
+// Differences from std::function, all deliberate:
+//   - move-only (the event queues never copy closures),
+//   - no target()/target_type() RTTI,
+//   - invoking an empty SmallFn is undefined (the event loop never does).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rr::common {
+
+template <class Sig, std::size_t Cap = 64>
+class SmallFn;
+
+template <class R, class... Args, std::size_t Cap>
+class SmallFn<R(Args...), Cap> {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace<D>(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->relocate(&buf_, &other.buf_);
+    other.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    ops_ = other.ops_;
+    if (ops_ != nullptr) ops_->relocate(&buf_, &other.buf_);
+    other.ops_ = nullptr;
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    emplace<D>(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->call(&buf_, std::forward<Args>(args)...);
+  }
+
+  /// True when a callable of type D would live in the inline buffer (used
+  /// by the zero-allocation tests to keep Cap honest).
+  template <class D>
+  [[nodiscard]] static constexpr bool stored_inline() {
+    return fits_inline<std::decay_t<D>>;
+  }
+
+ private:
+  struct Ops {
+    R (*call)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Cap && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class D, class F>
+  void emplace(F&& f) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(&buf_)) D(std::forward<F>(f));
+      static constexpr Ops ops{
+          [](void* p, Args&&... a) -> R {
+            return (*std::launder(reinterpret_cast<D*>(p)))(
+                std::forward<Args>(a)...);
+          },
+          [](void* dst, void* src) {
+            D* s = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(&buf_)) D*(new D(std::forward<F>(f)));
+      static constexpr Ops ops{
+          [](void* p, Args&&... a) -> R {
+            return (**std::launder(reinterpret_cast<D**>(p)))(
+                std::forward<Args>(a)...);
+          },
+          [](void* dst, void* src) {
+            D** s = std::launder(reinterpret_cast<D**>(src));
+            ::new (dst) D*(*s);
+          },
+          [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); }};
+      ops_ = &ops;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[Cap];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace rr::common

@@ -52,8 +52,7 @@ class SimBackend final : public Backend {
     return world_->add_process(std::move(p));
   }
   void start() override { world_->start(); }
-  void post(Time at, ProcessId pid,
-            std::function<void(net::Context&)> fn) override {
+  void post(Time at, ProcessId pid, net::PostFn fn) override {
     world_->post(std::max(at, world_->now()), pid, std::move(fn));
   }
   std::uint64_t run() override { return world_->run(); }
@@ -100,8 +99,7 @@ class ThreadBackend final : public Backend {
     return cluster_->add(std::move(p), /*active=*/true);
   }
   void start() override { cluster_->start(); }
-  void post(Time at, ProcessId pid,
-            std::function<void(net::Context&)> fn) override {
+  void post(Time at, ProcessId pid, net::PostFn fn) override {
     cluster_->post(at, pid, std::move(fn));
   }
   std::uint64_t run() override {

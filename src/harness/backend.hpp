@@ -59,36 +59,68 @@ struct BackendConfig {
   std::uint64_t run_timeout_ms{120'000};
 };
 
+/// The runtime contract every execution substrate must honor. A new backend
+/// implements this interface, gets a BackendKind entry, and the whole
+/// harness surface -- Deployment, workloads, chaos, the history checker,
+/// the cross-backend equivalence suite -- runs on it unchanged. The
+/// reference semantics are the DES (sim::World); the invariants a backend
+/// must keep are spelled out per member below, and
+/// tests/test_cross_backend.cpp checks them end-to-end per protocol.
 class Backend {
  public:
   virtual ~Backend() = default;
 
-  /// Registers a process; ids are assigned densely in registration order.
+  /// Registers a process; ids MUST be assigned densely in registration
+  /// order (0, 1, 2, ...) -- ShardLayout and Topology do pid arithmetic on
+  /// that assumption. Called only before start().
   virtual ProcessId add_process(std::unique_ptr<net::Process> p) = 0;
 
-  /// Calls on_start on every process; threads spin up here.
+  /// Calls on_start on every process, in id order; threads spin up here.
+  /// Called exactly once, after all add_process calls.
   virtual void start() = 0;
 
-  /// Schedules `fn` to run as a step of process `pid` at time `at` on the
-  /// backend clock (times in the past run as soon as possible).
-  virtual void post(Time at, ProcessId pid,
-                    std::function<void(net::Context&)> fn) = 0;
+  /// Schedules `fn` to run as one atomic step of process `pid` at time `at`
+  /// on the backend clock (times in the past run as soon as possible).
+  /// The closure must run with the same exclusivity as a message delivery:
+  /// no other step of `pid` may be concurrent with it. Closures posted to a
+  /// crashed process are silently skipped. Closures that fit net::PostFn's
+  /// inline buffer must be stored without heap allocation.
+  virtual void post(Time at, ProcessId pid, net::PostFn fn) = 0;
 
-  /// Runs until no work remains (messages buffered on held channels do not
-  /// count). Returns events executed / messages delivered by this run.
+  /// Runs until no work remains: no undelivered messages, no pending posted
+  /// closures, no step in flight. Messages buffered on held channels do NOT
+  /// count as work (they may stay in transit forever, as in the proofs).
+  /// Returns events executed / messages delivered by this run. Wait-free
+  /// protocol runs must quiesce; a backend may bound the wait and abort on
+  /// livelock.
   virtual std::uint64_t run() = 0;
 
   /// Current time on the backend clock (virtual ns for the DES, wall-clock
-  /// ns since construction for threads).
+  /// ns since construction for threads). Monotone; operation latencies are
+  /// differences of this clock, so its unit defines the latency unit.
   [[nodiscard]] virtual Time now() const = 0;
 
-  // Fault injection (same semantics on both substrates).
+  // Fault injection. Semantics must match the DES exactly:
+  //   - crash(p): p takes no further steps, ever. Undelivered messages to
+  //     or from p are dropped (counted in NetStats), as are future sends;
+  //     messages buffered on held channels adjacent to p are discarded
+  //     immediately so they cannot be resurrected by release().
+  //   - hold(from, to): messages sent on that channel are buffered, not
+  //     delivered ("messages remain in transit"). Idempotent.
+  //   - release(from, to): buffered messages are re-injected in FIFO order
+  //     with fresh delays from the current time. No-op if not held.
+  //   - hold_all/release_all: every channel adjacent to pid, both
+  //     directions, excluding the never-used self-channel pid -> pid.
   virtual void crash(ProcessId pid) = 0;
   virtual void hold(ProcessId from, ProcessId to) = 0;
   virtual void release(ProcessId from, ProcessId to) = 0;
   virtual void hold_all(ProcessId pid) = 0;
   virtual void release_all(ProcessId pid) = 0;
 
+  /// Traffic statistics. Byte counts must use wire::encoded_size() (the
+  /// shared counting visitor) so cross-backend byte numbers are comparable.
+  /// Only exact after run() has returned (threads count lock-free per
+  /// slot).
   [[nodiscard]] virtual net::NetStats stats() const = 0;
   [[nodiscard]] virtual net::Process& process(ProcessId pid) = 0;
   [[nodiscard]] virtual const char* name() const = 0;

@@ -127,14 +127,23 @@ void Deployment::build() {
 
 void Deployment::do_write(net::Context& ctx, int shard, Value v,
                           core::WriteCallback cb) {
-  writers_[static_cast<std::size_t>(shard)]->write(ctx, std::move(v),
-                                                   std::move(cb));
+  // Every write funnels through here, so this is the single point where the
+  // deployment's latency histogram sees each invoke -> response interval.
+  writers_[static_cast<std::size_t>(shard)]->write(
+      ctx, std::move(v),
+      [this, cb = std::move(cb)](const core::WriteResult& r) {
+        write_latency_.record(r.latency());
+        if (cb) cb(r);
+      });
 }
 
 void Deployment::do_read(net::Context& ctx, int shard, int reader,
                          core::ReadCallback cb) {
   readers_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(reader)]
-      ->read(ctx, std::move(cb));
+      ->read(ctx, [this, cb = std::move(cb)](const core::ReadResult& r) {
+        read_latency_.record(r.latency());
+        if (cb) cb(r);
+      });
 }
 
 void Deployment::invoke_write(Time at, Value v, core::WriteCallback cb) {

@@ -24,6 +24,7 @@
 #include "core/client_api.hpp"
 #include "core/client_types.hpp"
 #include "harness/backend.hpp"
+#include "harness/latency.hpp"
 #include "harness/protocol.hpp"
 #include "harness/shard.hpp"
 
@@ -100,6 +101,16 @@ class Deployment {
   [[nodiscard]] Time now() const { return backend_->now(); }
   [[nodiscard]] net::NetStats stats() const { return backend_->stats(); }
 
+  /// Invoke -> response latency histograms, in backend clock units, fed by
+  /// every WRITE/READ completion across all shards (logged or not). Read
+  /// after run() for exact numbers; deterministic on the DES backend.
+  [[nodiscard]] const LatencyRecorder& write_latency() const {
+    return write_latency_;
+  }
+  [[nodiscard]] const LatencyRecorder& read_latency() const {
+    return read_latency_;
+  }
+
   [[nodiscard]] ProcessId writer_pid(int shard = 0) const {
     return layout_.writer(shard);
   }
@@ -163,6 +174,8 @@ class Deployment {
   DeploymentOptions opts_;
   ShardLayout layout_;
   Topology topo_;
+  LatencyRecorder write_latency_;
+  LatencyRecorder read_latency_;
   std::vector<core::WriterClient*> writers_;               // [shard]
   std::vector<std::vector<core::ReaderClient*>> readers_;  // [shard][j]
   std::vector<std::unique_ptr<checker::HistoryLog>> logs_;  // [shard]

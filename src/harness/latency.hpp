@@ -1,0 +1,189 @@
+// Per-operation latency histogram: fixed buckets, log scale, zero
+// allocation, thread-safe recording.
+//
+// The paper's central question is "how fast can a read be?"; the harness
+// answers it empirically by recording every WRITE/READ's invoke -> response
+// latency in backend clock units (virtual ns on the DES, wall-clock ns on
+// threads) and reporting p50/p95/p99/max. The recorder must work on both
+// substrates, which fixes the design:
+//   - recording happens inside completion callbacks on the operation hot
+//     path, so record() is wait-free and allocation-free: a fixed
+//     std::array of relaxed atomic counters, no resizing ever;
+//   - on the threads backend callbacks fire concurrently on each client's
+//     own thread, so counters are atomics and record() is safe from any
+//     thread (quantile readers expect a quiesced run for exact numbers);
+//   - on the DES, virtual-time latencies are deterministic, so every
+//     derived percentile is bit-identical across runs -- pinned by
+//     tests/test_latency.cpp.
+//
+// Bucketing is logarithmic with 16 linear sub-buckets per octave (values
+// 0..15 are exact): the relative quantization error of a reported
+// percentile is at most 1/16, uniformly across the full u64 range, with a
+// ~7.7 KiB footprint.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rr::harness {
+
+class LatencyRecorder {
+ public:
+  /// Linear sub-buckets per octave (and the exact-bucket range [0, kSub)).
+  static constexpr std::uint64_t kSub = 16;
+  static constexpr int kSubBits = 4;
+  /// Bucket count covering the full u64 range: 16 exact buckets plus 60
+  /// octaves of 16 sub-buckets.
+  static constexpr std::size_t kBuckets =
+      kSub + (64 - kSubBits) * kSub;
+
+  LatencyRecorder() = default;
+
+  /// Value -> bucket index. Exact below kSub; above, the octave is the bit
+  /// width of v and the sub-bucket is the next kSubBits bits after the
+  /// leading one.
+  [[nodiscard]] static constexpr std::size_t bucket_index(Time v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int shift = std::bit_width(v) - 1 - kSubBits;
+    const auto sub = static_cast<std::size_t>((v >> shift) & (kSub - 1));
+    return (static_cast<std::size_t>(shift) + 1) * kSub + sub;
+  }
+
+  /// Smallest value mapping to `idx` (the reported representative, which
+  /// makes quantiles a deterministic lower bound of the true value).
+  [[nodiscard]] static constexpr Time bucket_floor(std::size_t idx) {
+    if (idx < kSub) return static_cast<Time>(idx);
+    const int shift = static_cast<int>(idx / kSub) - 1;
+    const Time sub = idx % kSub;
+    return (kSub + sub) << shift;
+  }
+
+  /// Records one latency. Wait-free, allocation-free, safe from any thread.
+  void record(Time latency) noexcept {
+    counts_[bucket_index(latency)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(latency, std::memory_order_relaxed);
+    atomic_min(min_, latency);
+    atomic_max(max_, latency);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Exact extremes (not quantized).
+  [[nodiscard]] Time min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Time max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const auto n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// The latency at quantile q in [0, 1]: the floor of the bucket holding
+  /// the ceil(q * count)-th smallest sample, clamped to the exact [min,
+  /// max] so quantile(0) == min() and quantile(1) == max(). Deterministic
+  /// given the recorded multiset; meant for after the run has quiesced.
+  [[nodiscard]] Time quantile(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    const double scaled = q * static_cast<double>(n);
+    auto rank = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(rank) < scaled) ++rank;  // ceil
+    rank = std::clamp<std::uint64_t>(rank, 1, n);
+    if (rank == n) return max();  // the top rank is tracked exactly
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i].load(std::memory_order_relaxed);
+      if (seen >= rank) return std::clamp(bucket_floor(i), min(), max());
+    }
+    return max();
+  }
+
+  [[nodiscard]] Time p50() const { return quantile(0.50); }
+  [[nodiscard]] Time p95() const { return quantile(0.95); }
+  [[nodiscard]] Time p99() const { return quantile(0.99); }
+
+  /// Raw bucket count (for tests and custom reports).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t idx) const {
+    return counts_[idx].load(std::memory_order_relaxed);
+  }
+
+  /// Folds another recorder's samples into this one (e.g. merging shards).
+  void merge(const LatencyRecorder& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const auto c = other.counts_[i].load(std::memory_order_relaxed);
+      if (c != 0) counts_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    if (other.count() != 0) {
+      atomic_min(min_, other.min());
+      atomic_max(max_, other.max());
+    }
+  }
+
+  void reset() noexcept {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~Time{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  // Snapshot semantics for copies: meant for after quiescence, like every
+  // other reader.
+  LatencyRecorder(const LatencyRecorder& other) { copy_from(other); }
+  LatencyRecorder& operator=(const LatencyRecorder& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
+ private:
+  static void atomic_min(std::atomic<Time>& slot, Time v) noexcept {
+    Time cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<Time>& slot, Time v) noexcept {
+    Time cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void copy_from(const LatencyRecorder& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    min_.store(other.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<Time> min_{~Time{0}};
+  std::atomic<Time> max_{0};
+};
+
+}  // namespace rr::harness

@@ -42,11 +42,22 @@ struct ObjectConfig {
   std::size_t history_limit{0};
 };
 
+/// Everything the harness knows about one protocol family. A registry
+/// entry is a contract: given automata built by the three factories below
+/// and a deployment at (or above) the resilience `resilience_for`
+/// recommends, every run whose fault plan stays within the (t, b) budget
+/// must produce histories satisfying `semantics` -- that is exactly what
+/// the cross-backend sweep (tests/test_cross_backend.cpp) checks, on both
+/// backends, for every entry.
 struct ProtocolTraits {
   Protocol id{Protocol::Safe};
   const char* name{""};      ///< canonical display name ("gv06-safe")
   const char* cli_name{""};  ///< short name accepted by CLIs ("safe")
+  /// What the checker verifies against recorded histories (the protocol's
+  /// promise; see checker/history.hpp for the formal conditions).
   Semantics semantics{Semantics::Safe};
+  /// Which wire protocol a Byzantine impostor must speak to attack this
+  /// family (adversary::make_byzantine picks the matching strategy set).
   adversary::Flavor flavor{adversary::Flavor::Safe};
 
   /// Recommended deployment for fault budgets (t, b): ABD is crash-only
@@ -54,6 +65,10 @@ struct ProtocolTraits {
   /// else runs at the optimal S = 2t+b+1.
   Resilience (*resilience_for)(int t, int b, int num_readers){nullptr};
 
+  // Automaton factories. Each returned automaton must be runtime-agnostic
+  // (a pure net::Process; see net/process.hpp) and wired against the
+  // *logical* single-register Topology -- sharded deployments wrap them in
+  // translating adapters, so factories must not assume physical pids.
   std::unique_ptr<core::WriterClient> (*make_writer)(const Resilience&,
                                                      const Topology&){nullptr};
   std::unique_ptr<core::ReaderClient> (*make_reader)(const Resilience&,

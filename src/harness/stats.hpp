@@ -1,4 +1,10 @@
 // Latency / round-count accumulators and percentile helpers.
+//
+// Two tiers: OpStats keeps every sample (exact percentiles, round counts;
+// allocates) for small experiment runs, while LatencyRecorder
+// (harness/latency.hpp, re-exported here) is the fixed-footprint log-scale
+// histogram the Deployment feeds on the operation hot path and the
+// latency-profile bench reports.
 #pragma once
 
 #include <algorithm>
@@ -8,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "harness/latency.hpp"
 
 namespace rr::harness {
 
@@ -40,6 +47,7 @@ class OpStats {
 
   [[nodiscard]] Time latency_min() const { return pick_latency(0.0); }
   [[nodiscard]] Time latency_p50() const { return pick_latency(0.50); }
+  [[nodiscard]] Time latency_p95() const { return pick_latency(0.95); }
   [[nodiscard]] Time latency_p99() const { return pick_latency(0.99); }
   [[nodiscard]] Time latency_max() const { return pick_latency(1.0); }
   [[nodiscard]] double latency_mean() const {

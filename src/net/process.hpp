@@ -13,6 +13,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/small_fn.hpp"
 #include "common/types.hpp"
 #include "wire/messages.hpp"
 
@@ -37,6 +38,13 @@ class Context {
   /// workloads only; honest protocol automata are deterministic).
   [[nodiscard]] virtual Rng& rng() = 0;
 };
+
+/// A closure scheduled to run as a step of some process (operation
+/// invocations, chaos actions, timers). Runtimes store these in their event
+/// queues; the 128-byte inline buffer is sized so the harness's invocation
+/// closures -- this-pointer, shard index, a Value string and a completion
+/// std::function -- never spill to the heap on post.
+using PostFn = common::SmallFn<void(Context&), 128>;
 
 class Process {
  public:

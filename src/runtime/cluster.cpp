@@ -131,8 +131,7 @@ net::NetStats Cluster::stats() const {
 // Timed closures + quiescence
 // ---------------------------------------------------------------------------
 
-void Cluster::post(Time at, ProcessId pid,
-                   std::function<void(net::Context&)> fn) {
+void Cluster::post(Time at, ProcessId pid, net::PostFn fn) {
   RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(slots_.size()));
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {

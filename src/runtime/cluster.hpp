@@ -82,8 +82,9 @@ class Cluster {
 
   /// Schedules `fn` to run as a step of process `pid` at time `at`
   /// (nanoseconds on the cluster clock; values in the past run immediately).
-  /// Thread-safe; may be called before start().
-  void post(Time at, ProcessId pid, std::function<void(net::Context&)> fn);
+  /// Thread-safe; may be called before start(). Closures that fit
+  /// net::PostFn's inline buffer are stored without heap allocation.
+  void post(Time at, ProcessId pid, net::PostFn fn);
 
   /// Blocks until no work remains: empty mailboxes, no pending timers, no
   /// step in flight. Messages buffered on held channels do not count.
@@ -124,7 +125,7 @@ class Cluster {
   struct Envelope {
     ProcessId from{kNoProcess};
     wire::Message msg{};
-    std::function<void(net::Context&)> fn{};  ///< non-null: closure step
+    net::PostFn fn{};  ///< non-null: closure step
   };
 
   struct Slot {
@@ -146,7 +147,7 @@ class Cluster {
     Time at{};
     std::uint64_t seq{};
     ProcessId pid{kNoProcess};
-    std::function<void(net::Context&)> fn{};
+    net::PostFn fn{};
   };
 
   /// Heap order for timer_heap_ (min-heap on (at, seq)); the single source

@@ -68,7 +68,7 @@ void World::start() {
 }
 
 // ---------------------------------------------------------------------------
-// Event slab + 4-ary index heap
+// Event slab (SoA) + 4-ary index heap
 // ---------------------------------------------------------------------------
 
 World::EventIndex World::alloc_event() {
@@ -77,8 +77,9 @@ World::EventIndex World::alloc_event() {
     free_.pop_back();
     return idx;
   }
-  pool_.emplace_back();
-  return static_cast<EventIndex>(pool_.size() - 1);
+  keys_.emplace_back();
+  bodies_.emplace_back();
+  return static_cast<EventIndex>(keys_.size() - 1);
 }
 
 void World::heap_push(EventIndex idx) {
@@ -113,18 +114,14 @@ World::EventIndex World::heap_pop() {
   return top;
 }
 
-void World::post(Time at, ProcessId pid,
-                 std::function<void(net::Context&)> fn) {
+void World::post(Time at, ProcessId pid, net::PostFn fn) {
   RR_ASSERT(pid >= 0 && pid < num_processes());
   RR_ASSERT(at >= now_);
   const EventIndex idx = alloc_event();
-  Event& ev = pool_[idx];
-  ev.at = at;
-  ev.seq = next_seq_++;
-  ev.is_delivery = false;
-  ev.from = kNoProcess;
-  ev.to = pid;
-  ev.fn = std::move(fn);
+  keys_[idx] = EventKey{at, next_seq_++, pid, /*is_delivery=*/false};
+  EventBody& body = bodies_[idx];
+  body.from = kNoProcess;
+  body.fn = std::move(fn);
   heap_push(idx);
 }
 
@@ -270,19 +267,16 @@ void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
 void World::schedule_delivery(ProcessId from, ProcessId to, wire::Message msg,
                               Time at) {
   const EventIndex idx = alloc_event();
-  Event& ev = pool_[idx];
-  ev.at = at;
-  ev.seq = next_seq_++;
-  ev.is_delivery = true;
-  ev.from = from;
-  ev.to = to;
-  ev.msg = std::move(msg);
+  keys_[idx] = EventKey{at, next_seq_++, to, /*is_delivery=*/true};
+  EventBody& body = bodies_[idx];
+  body.from = from;
+  body.msg = std::move(msg);
   heap_push(idx);
 }
 
-void World::deliver(const Event& ev) {
-  auto& slot = procs_[static_cast<std::size_t>(ev.to)];
-  if (slot.crashed || crashed(ev.from)) {
+void World::deliver_one(net::Context& ctx, ProcSlot& slot, ProcessId from,
+                        wire::Message& msg) {
+  if (slot.crashed || crashed(from)) {
     // Crash-faulty endpoints: the message is lost. (For the paper's
     // purposes only the recipient matters, but a crashed sender's in-flight
     // messages disappearing is also legal in a partial run.)
@@ -290,13 +284,12 @@ void World::deliver(const Event& ev) {
     return;
   }
   stats_.messages_delivered++;
-  WorldContext ctx(*this, ev.to);
   if (opts_.reserialize) {
-    auto round_tripped = wire::decode(wire::encode(ev.msg));
+    auto round_tripped = wire::decode(wire::encode(msg));
     RR_ASSERT_MSG(round_tripped.has_value(), "codec must round-trip");
-    slot.proc->on_message(ctx, ev.from, *round_tripped);
+    slot.proc->on_message(ctx, from, *round_tripped);
   } else {
-    slot.proc->on_message(ctx, ev.from, ev.msg);
+    slot.proc->on_message(ctx, from, msg);
   }
 }
 
@@ -305,37 +298,79 @@ bool World::step() {
   RR_ASSERT_MSG(executed_ < opts_.max_events,
                 "event budget exhausted: likely livelock in a protocol");
   const EventIndex idx = heap_pop();
-  // Move the event out of its slab slot and recycle the slot *before*
-  // running the handler: handlers send messages, which may claim the slot
-  // (and, on slab growth, invalidate references into pool_). The move
-  // steals the message payload -- no deep copy, no allocation.
-  Event ev = std::move(pool_[idx]);
-  pool_[idx].fn = nullptr;
+  // Copy the key and move the body out of the slab, recycling the slot
+  // *before* running the handler: handlers send messages, which may claim
+  // the slot (and, on slab growth, invalidate references into the slab
+  // arrays). The move steals the message payload -- no deep copy, no
+  // allocation.
+  const EventKey key = keys_[idx];
+  EventBody body = std::move(bodies_[idx]);
+  bodies_[idx].fn = nullptr;
   free_.push_back(idx);
   executed_++;
-  RR_ASSERT(ev.at >= now_);
-  now_ = ev.at;
-  if (ev.is_delivery) {
-    deliver(ev);
-  } else {
-    auto& slot = procs_[static_cast<std::size_t>(ev.to)];
-    if (!slot.crashed) {
-      WorldContext ctx(*this, ev.to);
-      ev.fn(ctx);
-    }
+  RR_ASSERT(key.at >= now_);
+  now_ = key.at;
+  auto& slot = procs_[static_cast<std::size_t>(key.dest)];
+  WorldContext ctx(*this, key.dest);
+  if (key.is_delivery) {
+    deliver_one(ctx, slot, body.from, body.msg);
+  } else if (!slot.crashed) {
+    body.fn(ctx);
   }
   return true;
 }
 
+std::uint64_t World::step_batch() {
+  RR_ASSERT_MSG(executed_ < opts_.max_events,
+                "event budget exhausted: likely livelock in a protocol");
+  const EventIndex idx = heap_pop();
+  const EventKey key = keys_[idx];
+  EventBody body = std::move(bodies_[idx]);
+  bodies_[idx].fn = nullptr;
+  free_.push_back(idx);
+  executed_++;
+  RR_ASSERT(key.at >= now_);
+  now_ = key.at;
+  auto& slot = procs_[static_cast<std::size_t>(key.dest)];
+  WorldContext ctx(*this, key.dest);
+  if (!key.is_delivery) {
+    if (!slot.crashed) body.fn(ctx);
+    return 1;
+  }
+  deliver_one(ctx, slot, body.from, body.msg);
+  // Drain the run of queued deliveries with the same (time, dest), reusing
+  // the context and destination slot. Order is exactly what repeated step()
+  // would produce: a run is a prefix of the (at, seq) sort, batched events
+  // cannot change crash or hold state (handlers only send), and any event a
+  // handler creates sorts after the whole run (larger seq, at >= now).
+  std::uint64_t n = 1;
+  while (!heap_.empty()) {
+    const EventIndex top = heap_.front();
+    const EventKey& tk = keys_[top];
+    if (tk.at != now_ || tk.dest != key.dest || !tk.is_delivery) break;
+    RR_ASSERT_MSG(executed_ < opts_.max_events,
+                  "event budget exhausted: likely livelock in a protocol");
+    (void)heap_pop();
+    EventBody b = std::move(bodies_[top]);
+    free_.push_back(top);
+    executed_++;
+    ++n;
+    deliver_one(ctx, slot, b.from, b.msg);
+  }
+  return n;
+}
+
 std::uint64_t World::run() {
   std::uint64_t n = 0;
-  while (step()) ++n;
+  while (!heap_.empty()) n += step_batch();
   return n;
 }
 
 std::uint64_t World::run_until(Time deadline) {
   std::uint64_t n = 0;
-  while (!heap_.empty() && pool_[heap_.front()].at <= deadline && step()) ++n;
+  while (!heap_.empty() && keys_[heap_.front()].at <= deadline) {
+    n += step_batch();
+  }
   if (now_ < deadline) now_ = deadline;
   return n;
 }

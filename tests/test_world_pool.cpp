@@ -6,10 +6,12 @@
 // NetStats for any seed.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <utility>
 #include <vector>
 
 #include "harness/deployment.hpp"
@@ -70,7 +72,10 @@ class Recorder final : public net::Process {
 
 /// A mesh of processes ping-ponging a few message shapes through uniform
 /// delays, with one channel held and released mid-run and one crash.
-std::uint64_t mesh_fingerprint(std::uint64_t seed, NetStats* stats_out) {
+/// `single_step` drains the world through repeated step() instead of the
+/// batched run() -- both must produce the identical execution.
+std::uint64_t mesh_fingerprint(std::uint64_t seed, NetStats* stats_out,
+                               bool single_step = false) {
   Fingerprint fp;
   WorldOptions opts;
   opts.seed = seed;
@@ -96,7 +101,12 @@ std::uint64_t mesh_fingerprint(std::uint64_t seed, NetStats* stats_out) {
   }
   w.post(1500, pids[2], [&](net::Context&) { w.release(pids[0], pids[1]); });
   w.post(2500, pids[3], [&](net::Context&) { w.crash(pids[5]); });
-  w.run();
+  if (single_step) {
+    while (w.step()) {
+    }
+  } else {
+    w.run();
+  }
   fp.mix(w.now());
   if (stats_out != nullptr) *stats_out = w.stats();
   return fp.value();
@@ -114,6 +124,58 @@ TEST(EventPool, DeliveryOrderMatchesSeedImplementation) {
   EXPECT_EQ(stats.messages_dropped, 26u);
   EXPECT_EQ(stats.bytes_sent, 1698u);
   EXPECT_EQ(mesh_fingerprint(99, nullptr), kGoldenFingerprintSeed99);
+}
+
+TEST(EventPool, BatchedRunMatchesSingleStepExecution) {
+  // run() dispatches equal-(time, dest) delivery runs as one batch; the
+  // execution (order, clock, stats) must be indistinguishable from
+  // repeated step(), and both must still match the seed goldens.
+  NetStats stepped;
+  EXPECT_EQ(mesh_fingerprint(7, &stepped, /*single_step=*/true),
+            kGoldenFingerprintSeed7);
+  NetStats batched;
+  EXPECT_EQ(mesh_fingerprint(7, &batched, /*single_step=*/false),
+            kGoldenFingerprintSeed7);
+  EXPECT_EQ(stepped.messages_delivered, batched.messages_delivered);
+  EXPECT_EQ(stepped.messages_dropped, batched.messages_dropped);
+  EXPECT_EQ(stepped.bytes_sent, batched.bytes_sent);
+  EXPECT_EQ(mesh_fingerprint(99, nullptr, /*single_step=*/true),
+            kGoldenFingerprintSeed99);
+}
+
+TEST(EventPool, BatchingPreservesOrderAcrossDestinations) {
+  // With a fixed delay, alternating sends to two destinations all land at
+  // the same virtual time: the per-destination batches must still execute
+  // in global (time, seq) order, i.e. perfectly interleaved.
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(10));
+  struct Collect final : net::Process {
+    std::vector<std::pair<ProcessId, Ts>>* order{nullptr};
+    void on_message(net::Context& ctx, ProcessId,
+                    const wire::Message& msg) override {
+      order->push_back({ctx.self(), std::get<wire::WAckMsg>(msg).ts});
+    }
+  };
+  std::vector<std::pair<ProcessId, Ts>> order;
+  auto mk = [&] {
+    auto p = std::make_unique<Collect>();
+    p->order = &order;
+    return p;
+  };
+  const auto a = w.add_process(mk());
+  const auto b = w.add_process(mk());
+  const auto c = w.add_process(mk());
+  // Runs of two per destination: exercises real multi-event batches (b,b),
+  // (c,c) as well as the batch boundary between them.
+  w.post(0, a, [b, c](net::Context& ctx) {
+    for (Ts i = 0; i < 52; ++i) ctx.send(i % 4 < 2 ? b : c, wire::WAckMsg{i});
+  });
+  w.run();
+  ASSERT_EQ(order.size(), 52u);
+  for (Ts i = 0; i < 52; ++i) {
+    EXPECT_EQ(order[i].second, i);
+    EXPECT_EQ(order[i].first, i % 4 < 2 ? b : c);
+  }
 }
 
 TEST(EventPool, SameSeedIdenticalStatsAndOrder) {
@@ -253,7 +315,9 @@ TEST(EventPool, InterleavedHoldReleaseReusesSlots) {
   ASSERT_EQ(p->seen.size(), 200u);
   for (std::size_t i = 0; i < p->seen.size(); ++i) {
     EXPECT_EQ(p->seen[i].second, static_cast<Ts>(i + 1));
-    if (i > 0) EXPECT_GE(p->seen[i].first, p->seen[i - 1].first);
+    if (i > 0) {
+      EXPECT_GE(p->seen[i].first, p->seen[i - 1].first);
+    }
   }
 }
 
@@ -284,6 +348,42 @@ TEST(EventPool, SteadyStateDeliveryIsAllocationFree) {
   EXPECT_EQ(delivered, 1000u);
   EXPECT_EQ(allocs, 0u)
       << "delivery hot path must not allocate at steady state";
+}
+
+TEST(EventPool, SteadyStatePostedClosuresAreAllocationFree) {
+  // PostFn gives posted closures small-buffer storage: once the slab has
+  // grown, posting a harness-sized capture (pointers, ints, a small array)
+  // and executing it must not touch the heap.
+  struct Sink final : net::Process {
+    void on_message(net::Context&, ProcessId, const wire::Message&) override {}
+  };
+  World w;
+  w.set_delay_model(std::make_unique<FixedDelay>(10));
+  const auto a = w.add_process(std::make_unique<Sink>());
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, 8> payload{};  // 64-byte capture by value
+  auto make_post = [&](Time at) {
+    w.post(at, a, [&sum, payload](net::Context& ctx) {
+      for (const auto v : payload) sum += v + ctx.now();
+    });
+  };
+  static_assert(net::PostFn::stored_inline<
+                    decltype([](net::Context&) {})>(),
+                "captureless closures must be inline");
+  // Warm-up sized to the later burst so the slab, heap array and free list
+  // never grow during the measured window.
+  for (int i = 0; i < 1100; ++i) make_post(static_cast<Time>(i));
+  w.run();
+  const std::uint64_t before = g_heap_allocs.load();
+  for (int i = 0; i < 1000; ++i) {
+    make_post(w.now() + 1 + static_cast<Time>(i));
+  }
+  w.run();
+  const std::uint64_t allocs = g_heap_allocs.load() - before;
+  EXPECT_EQ(allocs, 0u)
+      << "posting and running small closures must not allocate at steady "
+         "state";
+  EXPECT_GT(sum, 0u);
 }
 
 }  // namespace
