@@ -113,6 +113,13 @@ int main(int argc, char** argv) {
                              "both)\n", v.c_str());
         return 2;
       }
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: bench_latency_profile [--quick] "
+                   "[--backend=des|threads|both]\n",
+                   argv[i]);
+      return 2;
     }
   }
 

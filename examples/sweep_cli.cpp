@@ -1,0 +1,300 @@
+// Scenario sweep CLI: run a deterministic {protocol x backend x fault
+// template x seed} grid of adversarial scenarios, shrink any failure to a
+// minimal schedule, and replay any cell by its key.
+//
+//   $ ./sweep_cli --quick                 # the CI grid: 1008 cells
+//   $ ./sweep_cli --protocols=safe,auth --backends=des --seeds=200
+//   $ ./sweep_cli --replay safe:des:chaos:42
+//   $ ./sweep_cli --templates=overload --backends=des --seeds=2
+//       (deliberate liveness violations; exercises shrink + replay)
+//
+// Writes BENCH_scenario_sweep.json with per-cell verdicts and, for every
+// failure, the minimal fault schedule plus the --replay flag reproducing it.
+// Exits nonzero when any cell fails.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace rr;
+
+std::string protocol_list() {
+  std::string out;
+  for (const auto& traits : harness::protocol_registry()) {
+    if (!out.empty()) out += "|";
+    out += traits.cli_name;
+  }
+  return out;
+}
+
+std::vector<std::string> split_commas(const std::string& in) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= in.size()) {
+    const auto comma = in.find(',', start);
+    out.push_back(in.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void usage() {
+  std::printf(
+      "usage: sweep_cli [--quick] [--protocols=%s|all,...]\n"
+      "  [--backends=des|threads|both] [--templates=none,crash,byz,mixed,"
+      "chaos,byzchaos,overload|default]\n"
+      "  (default = the 6 budget-respecting templates; the deliberately-"
+      "failing overload\n   template must be named explicitly)\n"
+      "  [--seeds=N] [--base-seed=N] [--t=N] [--b=N] [--readers=N]\n"
+      "  [--writes=N] [--reads=N] [--check=safe|regular|atomic] [--jobs=N]\n"
+      "  [--json=PATH] [--replay KEY]\n",
+      protocol_list().c_str());
+}
+
+int replay(const harness::SweepEngine& engine, const std::string& key) {
+  const auto scenario = engine.materialize_key(key);
+  if (!scenario) {
+    std::fprintf(stderr,
+                 "bad cell key '%s' (want protocol:backend:template:seed, "
+                 "e.g. safe:des:chaos:42; overload replays on des only)\n",
+                 key.c_str());
+    return 2;
+  }
+  std::printf("replaying %s: %d writes, %dx%d reads, %d shard%s, "
+              "%zu fault event(s)\n",
+              key.c_str(), scenario->writes, scenario->readers,
+              scenario->reads_per_reader, scenario->shards,
+              scenario->shards == 1 ? "" : "s", scenario->events.size());
+  for (const auto& ev : scenario->events) {
+    std::printf("  - %s\n", ev.describe().c_str());
+  }
+  const auto verdict = harness::SweepEngine::run_cell(*scenario);
+  std::printf("verdict: %s; %d ops complete, %d stuck, %llu events, "
+              "fingerprint %016llx\n",
+              verdict.ok ? "OK" : "FAIL", verdict.ops_complete,
+              verdict.ops_stuck,
+              static_cast<unsigned long long>(verdict.events),
+              static_cast<unsigned long long>(verdict.fingerprint));
+  if (verdict.ok) return 0;
+
+  std::printf("failure: %s\n", verdict.first_violation.c_str());
+  if (scenario->backend == harness::BackendKind::Sim &&
+      !scenario->events.empty()) {
+    const auto shrunk = harness::SweepEngine::shrink(*scenario);
+    std::printf("minimal failing schedule (%d -> %zu events, %d reruns):\n",
+                shrunk.original_events, shrunk.minimal.events.size(),
+                shrunk.reruns);
+    for (const auto& ev : shrunk.minimal.events) {
+      std::printf("  - %s\n", ev.describe().c_str());
+    }
+    std::printf("  failure: %s\n", shrunk.first_violation.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::SweepPlan plan;
+  plan.protocols.clear();
+  std::string replay_key;
+  std::string json_path = "BENCH_scenario_sweep.json";
+  int jobs = 0;
+  bool quick = false;
+  bool protocols_given = false, templates_given = false, seeds_given = false;
+  bool writes_given = false, reads_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string("--") + key + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_key = argv[++i];
+    } else if (auto v = value("replay")) {
+      replay_key = *v;
+    } else if (auto v = value("protocols")) {
+      protocols_given = true;
+      for (const auto& name : split_commas(*v)) {
+        if (name == "all") {
+          for (const auto& traits : harness::protocol_registry()) {
+            plan.protocols.push_back(traits.id);
+          }
+          continue;
+        }
+        const auto p = harness::protocol_from_name(name);
+        if (!p) {
+          std::fprintf(stderr, "unknown protocol '%s' (known: %s)\n",
+                       name.c_str(), protocol_list().c_str());
+          return 2;
+        }
+        plan.protocols.push_back(*p);
+      }
+    } else if (auto v = value("backends")) {
+      if (*v == "both") {
+        plan.backends = {harness::BackendKind::Sim,
+                         harness::BackendKind::Threads};
+      } else if (const auto kind = harness::backend_from_name(*v)) {
+        plan.backends = {*kind};
+      } else {
+        std::fprintf(stderr, "unknown backend '%s' (des|threads|both)\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (auto v = value("templates")) {
+      templates_given = true;
+      plan.templates.clear();
+      for (const auto& name : split_commas(*v)) {
+        if (name == "default") {
+          plan.templates = harness::default_fault_templates();
+          continue;
+        }
+        const auto t = harness::fault_template_from_name(name);
+        if (!t) {
+          std::fprintf(stderr,
+                       "unknown template '%s' (none|crash|byz|mixed|chaos|"
+                       "byzchaos|overload)\n",
+                       name.c_str());
+          return 2;
+        }
+        plan.templates.push_back(*t);
+      }
+    } else if (auto v = value("seeds")) {
+      seeds_given = true;
+      plan.seeds = std::atoi(v->c_str());
+    } else if (auto v = value("base-seed")) {
+      plan.base_seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = value("t")) {
+      plan.t = std::atoi(v->c_str());
+    } else if (auto v = value("b")) {
+      plan.b = std::atoi(v->c_str());
+    } else if (auto v = value("readers")) {
+      plan.readers = std::atoi(v->c_str());
+    } else if (auto v = value("writes")) {
+      writes_given = true;
+      plan.writes = std::atoi(v->c_str());
+    } else if (auto v = value("reads")) {
+      reads_given = true;
+      plan.reads_per_reader = std::atoi(v->c_str());
+    } else if (auto v = value("check")) {
+      if (*v == "safe") plan.check_override = harness::Semantics::Safe;
+      else if (*v == "regular") plan.check_override = harness::Semantics::Regular;
+      else if (*v == "atomic") plan.check_override = harness::Semantics::Atomic;
+      else {
+        std::fprintf(stderr, "unknown semantics '%s' (safe|regular|atomic)\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (auto v = value("jobs")) {
+      jobs = std::atoi(v->c_str());
+    } else if (auto v = value("json")) {
+      json_path = *v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (quick) {
+    harness::SweepPlan q = harness::SweepPlan::quick();
+    if (!protocols_given) plan.protocols = q.protocols;
+    if (!templates_given) plan.templates = q.templates;
+    if (!seeds_given) plan.seeds = q.seeds;
+    if (!writes_given) plan.writes = q.writes;
+    if (!reads_given) plan.reads_per_reader = q.reads_per_reader;
+  } else if (plan.protocols.empty() && !protocols_given) {
+    for (const auto& traits : harness::protocol_registry()) {
+      plan.protocols.push_back(traits.id);
+    }
+  }
+  if (plan.protocols.empty() || plan.templates.empty() || plan.seeds < 1) {
+    usage();
+    return 2;
+  }
+
+  bool has_overload = false;
+  for (const auto t : plan.templates) {
+    has_overload = has_overload || t == harness::FaultTemplate::Overload;
+  }
+  if (has_overload) {
+    for (const auto bk : plan.backends) {
+      if (bk != harness::BackendKind::Sim) {
+        std::fprintf(stderr,
+                     "the overload template requires --backends=des (it "
+                     "stalls quorums forever; threads would abort)\n");
+        return 2;
+      }
+    }
+  }
+
+  harness::SweepEngine engine(std::move(plan));
+  if (!replay_key.empty()) return replay(engine, replay_key);
+
+  const auto& p = engine.plan();
+  std::printf("sweeping %zu cells: %zu protocol(s) x %zu backend(s) x %zu "
+              "template(s) x %d seed(s)\n",
+              p.num_cells(), p.protocols.size(), p.backends.size(),
+              p.templates.size(), p.seeds);
+  const auto report = engine.run(jobs);
+
+  // Aggregate verdicts per protocol x backend for the console summary.
+  harness::Table table({"protocol", "backend", "cells", "pass", "fail",
+                        "stuck-ops", "avg-events", "read p95 us (max)"});
+  for (const auto protocol : p.protocols) {
+    for (const auto backend : p.backends) {
+      int cells = 0, pass = 0, fail = 0, stuck = 0;
+      std::uint64_t events = 0, p95_max = 0;
+      for (const auto& c : report.cells) {
+        if (c.protocol != protocol || c.backend != backend) continue;
+        ++cells;
+        if (c.ok) ++pass; else ++fail;
+        stuck += c.ops_stuck;
+        events += c.events;
+        p95_max = std::max<std::uint64_t>(p95_max, c.read_p95);
+      }
+      table.add_row(harness::protocol_traits(protocol).cli_name,
+                    harness::to_string(backend), cells, pass, fail, stuck,
+                    cells > 0 ? events / static_cast<std::uint64_t>(cells) : 0,
+                    static_cast<double>(p95_max) / 1000.0);
+    }
+  }
+  table.print();
+  std::printf("%d/%zu cells failed in %.1f ms on %d workers\n", report.failed,
+              report.cells.size(), report.wall_ms, report.workers);
+
+  for (const auto& shrunk : report.shrinks) {
+    std::printf("\nfailing cell %s: %d fault event(s) shrunk to %zu "
+                "(%d reruns); replay with: --replay %s\n",
+                shrunk.key.c_str(), shrunk.original_events,
+                shrunk.minimal.events.size(), shrunk.reruns,
+                shrunk.key.c_str());
+    for (const auto& ev : shrunk.minimal.events) {
+      std::printf("  - %s\n", ev.describe().c_str());
+    }
+    std::printf("  failure: %s\n", shrunk.first_violation.c_str());
+  }
+
+  if (!harness::SweepEngine::write_json(report, p, json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return report.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh quick-mode bench JSON to its
+committed baseline (bench/baselines/) within a tolerance band.
+
+Fails (exit 1) when any throughput metric drops more than --throughput-tol
+(default 15%) below the baseline, or any p95 latency rises more than
+--latency-tol (default 25%) above it. A metric present in the baseline but
+missing from the fresh run also fails: a protocol silently falling out of a
+bench must not pass the gate. Metrics only present in the fresh run are
+reported and ignored (new protocols grow the baseline on the next --update).
+
+Understands the three quick-mode bench formats by their "bench" field:
+  world_throughput      pool_loop.events_per_sec             (higher-better)
+  protocol_comparison   per protocol x backend: ops_per_s,
+                        events_per_s                         (higher-better)
+  latency_profile       per protocol x backend: writes.p95,
+                        reads.p95                            (lower-better)
+
+DES latency numbers are virtual time, hence bit-deterministic: any p95
+movement there is a real algorithmic change, not scheduler noise. Wall-clock
+throughput numbers do vary with the runner; the band absorbs that.
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines/BENCH_x.json \
+      --fresh build/BENCH_x.json [--throughput-tol 0.15] [--latency-tol 0.25]
+  check_bench_regression.py --update --baseline ... --fresh ...
+      (rewrite the baseline from the fresh run; prints the diff first)
+  check_bench_regression.py --self-test
+      (prove the gate trips: doctored slow/latent copies must fail)
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+HIGHER_IS_BETTER = "higher"
+LOWER_IS_BETTER = "lower"
+
+
+def extract_metrics(doc):
+    """Returns {metric_name: (value, direction)} for a known bench JSON."""
+    bench = doc.get("bench")
+    metrics = {}
+    if bench == "world_throughput":
+        # Gate the pool-vs-seed speedup, not absolute events/s: both loops
+        # run on the same machine in the same process, so the ratio is
+        # immune to runner provisioning while still dropping the moment the
+        # hot path loses an optimization the embedded seed loop never had.
+        metrics["speedup_vs_seed_loop"] = (float(doc["speedup"]),
+                                           HIGHER_IS_BETTER)
+    elif bench == "protocol_comparison":
+        for row in doc["results"]:
+            key = f"{row['protocol']}/{row['backend']}"
+            metrics[f"{key}.ops_per_s"] = (float(row["ops_per_s"]),
+                                           HIGHER_IS_BETTER)
+            metrics[f"{key}.events_per_s"] = (float(row["events_per_s"]),
+                                              HIGHER_IS_BETTER)
+    elif bench == "latency_profile":
+        for row in doc["rows"]:
+            key = f"{row['protocol']}/{row['backend']}"
+            metrics[f"{key}.writes.p95"] = (float(row["writes"]["p95"]),
+                                            LOWER_IS_BETTER)
+            metrics[f"{key}.reads.p95"] = (float(row["reads"]["p95"]),
+                                           LOWER_IS_BETTER)
+    else:
+        raise SystemExit(f"unknown bench format: {bench!r}")
+    return metrics
+
+
+def compare(baseline, fresh, throughput_tol, latency_tol):
+    """Returns (failures, lines): violated metrics and a full report."""
+    failures = []
+    lines = []
+    for name, (base_value, direction) in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(name)
+            lines.append(f"FAIL {name}: missing from the fresh run "
+                         f"(baseline {base_value:.1f})")
+            continue
+        fresh_value, _ = fresh[name]
+        if base_value <= 0:
+            lines.append(f"  ok {name}: baseline {base_value:.1f} (not gated)")
+            continue
+        ratio = fresh_value / base_value
+        if direction == HIGHER_IS_BETTER:
+            bound = 1.0 - throughput_tol
+            bad = ratio < bound
+            kind = f"throughput drop >{throughput_tol:.0%}"
+        else:
+            bound = 1.0 + latency_tol
+            bad = ratio > bound
+            kind = f"p95 rise >{latency_tol:.0%}"
+        status = "FAIL" if bad else "  ok"
+        lines.append(f"{status} {name}: baseline {base_value:.1f} -> fresh "
+                     f"{fresh_value:.1f} ({ratio:.2f}x, allowed "
+                     f"{'>=' if direction == HIGHER_IS_BETTER else '<='} "
+                     f"{bound:.2f}x)")
+        if bad:
+            failures.append(f"{name} ({kind})")
+    for name in sorted(set(fresh) - set(baseline)):
+        lines.append(f"  new {name}: {fresh[name][0]:.1f} "
+                     "(no baseline; run --update to start gating it)")
+    return failures, lines
+
+
+def self_test():
+    """The gate must trip on an artificially slowed run and pass on an
+    identical one."""
+    baseline = {
+        "x.ops_per_s": (1000.0, HIGHER_IS_BETTER),
+        "x.reads.p95": (200.0, LOWER_IS_BETTER),
+    }
+    same, _ = compare(baseline, dict(baseline), 0.15, 0.25)
+    assert not same, f"identical run must pass, got {same}"
+
+    slowed = {
+        "x.ops_per_s": (500.0, HIGHER_IS_BETTER),   # 2x slower
+        "x.reads.p95": (200.0, LOWER_IS_BETTER),
+    }
+    failures, _ = compare(baseline, slowed, 0.15, 0.25)
+    assert failures, "halved throughput must trip the gate"
+
+    latent = {
+        "x.ops_per_s": (1000.0, HIGHER_IS_BETTER),
+        "x.reads.p95": (400.0, LOWER_IS_BETTER),    # 2x the p95
+    }
+    failures, _ = compare(baseline, latent, 0.15, 0.25)
+    assert failures, "doubled p95 must trip the gate"
+
+    in_band = {
+        "x.ops_per_s": (900.0, HIGHER_IS_BETTER),   # -10%: inside the band
+        "x.reads.p95": (240.0, LOWER_IS_BETTER),    # +20%: inside the band
+    }
+    failures, _ = compare(baseline, in_band, 0.15, 0.25)
+    assert not failures, f"in-band noise must pass, got {failures}"
+
+    missing = {"x.ops_per_s": (1000.0, HIGHER_IS_BETTER)}
+    failures, _ = compare(baseline, missing, 0.15, 0.25)
+    assert failures, "a metric vanishing from the bench must trip the gate"
+    print("self-test ok: the gate trips on slowdowns, p95 rises and "
+          "missing metrics, and passes in-band noise")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--fresh", help="freshly produced bench JSON")
+    parser.add_argument("--throughput-tol", type=float, default=0.15,
+                        help="max tolerated throughput drop (default 0.15)")
+    parser.add_argument("--latency-tol", type=float, default=0.25,
+                        help="max tolerated p95 rise (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the fresh run")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on doctored runs")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.fresh:
+        parser.error("--baseline and --fresh are required")
+
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+    fresh = extract_metrics(fresh_doc)
+    with open(args.baseline) as f:
+        baseline = extract_metrics(json.load(f))
+
+    failures, lines = compare(baseline, fresh, args.throughput_tol,
+                              args.latency_tol)
+    print(f"perf gate: {args.fresh} vs {args.baseline}")
+    for line in lines:
+        print(f"  {line}")
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated from {args.fresh}")
+        return 0
+    if failures:
+        print(f"PERF REGRESSION: {len(failures)} metric(s) out of band:")
+        for name in failures:
+            print(f"  - {name}")
+        return 1
+    print(f"all {len(baseline)} gated metrics within band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,12 +19,18 @@ import urllib.parse
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
-SKIP_DIRS = {"build", "build-tsan", ".git", ".cache"}
+SKIP_DIRS = {".git", ".cache"}
+
+
+def skip_dir(name):
+    # Any local build tree (build, build-tsan, build-asan, build-werror,
+    # ...) -- kept in sync with .gitignore's build-*/ pattern.
+    return name in SKIP_DIRS or name == "build" or name.startswith("build-")
 
 
 def markdown_files(root):
     for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        dirnames[:] = [d for d in dirnames if not skip_dir(d)]
         for name in filenames:
             if name.endswith(".md"):
                 yield os.path.join(dirpath, name)

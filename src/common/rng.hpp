@@ -12,6 +12,21 @@
 
 namespace rr {
 
+/// SplitMix64 step: advances `state` and returns the next output word.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot SplitMix64 mix of a single word: the shared one-way mix behind
+/// Rng seeding, sweep-cell seed derivation and schedule fingerprints.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t z) {
+  return splitmix64(z);
+}
+
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -21,13 +36,7 @@ class Rng {
   void reseed(std::uint64_t seed) {
     // SplitMix64 expansion of the seed into the 256-bit state.
     std::uint64_t x = seed;
-    for (auto& word : state_) {
-      x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
-    }
+    for (auto& word : state_) word = splitmix64(x);
   }
 
   result_type operator()() { return next(); }

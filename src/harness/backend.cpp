@@ -32,6 +32,7 @@ class SimBackend final : public Backend {
     sim::WorldOptions wopts;
     wopts.seed = cfg.seed;
     wopts.reserialize = cfg.reserialize;
+    wopts.trace_fingerprint = cfg.trace_fingerprint;
     world_ = std::make_unique<sim::World>(wopts);
     switch (cfg.delay) {
       case DelayKind::Fixed:

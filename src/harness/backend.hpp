@@ -52,6 +52,10 @@ struct BackendConfig {
   DelayKind delay{DelayKind::Uniform};
   Time delay_lo{1'000};
   Time delay_hi{10'000};
+  /// DES only: maintain sim::World's running schedule fingerprint (see
+  /// WorldOptions::trace_fingerprint). The threads backend is genuinely
+  /// nondeterministic, so it has no equivalent.
+  bool trace_fingerprint{false};
 
   // Threads only: artificial delivery jitter (microseconds) and the bound
   // on one run-to-quiescence (a wait-free run only exceeds it on livelock).

@@ -59,6 +59,7 @@ void Deployment::build() {
   bcfg.delay = opts_.delay;
   bcfg.delay_lo = opts_.delay_lo;
   bcfg.delay_hi = opts_.delay_hi;
+  bcfg.trace_fingerprint = opts_.trace_fingerprint;
   bcfg.max_jitter_us = opts_.thread_jitter_us;
   backend_ = make_backend(opts_.backend, bcfg);
 

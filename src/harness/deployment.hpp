@@ -71,6 +71,8 @@ struct DeploymentOptions {
   Time delay_lo{1'000};
   Time delay_hi{10'000};
   bool reserialize{false};  ///< round-trip every message through the codec
+  /// DES backend: maintain the schedule fingerprint (sweep determinism).
+  bool trace_fingerprint{false};
   /// Threads backend: max artificial delivery jitter (microseconds).
   std::uint32_t thread_jitter_us{0};
   /// Regular-object history garbage collection: retain at most this many

@@ -1,0 +1,655 @@
+#include "harness/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "harness/deployment.hpp"
+#include "harness/workload.hpp"
+#include "sim/world.hpp"
+
+namespace rr::harness {
+namespace {
+
+constexpr FaultTemplate kDefaultTemplates[] = {
+    FaultTemplate::None, FaultTemplate::Crash,  FaultTemplate::Byz,
+    FaultTemplate::Mixed, FaultTemplate::Chaos, FaultTemplate::ByzChaos,
+};
+
+constexpr adversary::StrategyKind kStrategies[] = {
+    adversary::StrategyKind::Silent,      adversary::StrategyKind::Amnesiac,
+    adversary::StrategyKind::Forger,      adversary::StrategyKind::Accuser,
+    adversary::StrategyKind::Equivocator, adversary::StrategyKind::Stagger,
+    adversary::StrategyKind::Collude,     adversary::StrategyKind::Random,
+};
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ v);
+}
+
+std::uint64_t fold_bytes(std::uint64_t h, const std::string& s) {
+  h = fold(h, s.size());
+  // FNV-1a over the payload, folded in as one word: cheap and enough to
+  // distinguish any two histories the checkers could tell apart.
+  std::uint64_t f = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) f = (f ^ c) * 0x100000001b3ULL;
+  return fold(h, f);
+}
+
+/// The cell's master seed: a pure function of the cell key coordinates, so
+/// replay-by-key reproduces the exact schedule regardless of plan grid
+/// enumeration or worker count.
+std::uint64_t cell_seed(Protocol p, BackendKind bk, FaultTemplate tm,
+                        std::uint64_t seed) {
+  return mix64(seed ^ (static_cast<std::uint64_t>(p) << 48) ^
+               (static_cast<std::uint64_t>(bk) << 40) ^
+               (static_cast<std::uint64_t>(tm) << 32));
+}
+
+/// Draws a workload size in [ceil(x/2), x].
+int half_to_full(Rng& rng, int x) {
+  if (x <= 1) return x;
+  const int lo = (x + 1) / 2;
+  return lo + static_cast<int>(rng.index(static_cast<std::size_t>(x - lo + 1)));
+}
+
+/// Picks a fresh object index not yet in `used` (S is small; rejection
+/// sampling terminates fast and stays deterministic).
+int pick_object(Rng& rng, std::vector<int>& used, int S) {
+  RR_ASSERT(static_cast<int>(used.size()) < S);
+  for (;;) {
+    const int candidate = static_cast<int>(rng.index(
+        static_cast<std::size_t>(S)));
+    bool taken = false;
+    for (const int u : used) taken = taken || (u == candidate);
+    if (!taken) {
+      used.push_back(candidate);
+      return candidate;
+    }
+  }
+}
+
+void add_byzantine(Scenario& s, Rng& rng, std::vector<int>& used, int count,
+                   int S) {
+  for (int i = 0; i < count; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::Byzantine;
+    ev.object = pick_object(rng, used, S);
+    ev.strategy = kStrategies[rng.index(std::size(kStrategies))];
+    s.events.push_back(std::move(ev));
+  }
+}
+
+void add_crashes(Scenario& s, Rng& rng, std::vector<int>& used, int count,
+                 int S) {
+  for (int i = 0; i < count; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::Crash;
+    ev.object = pick_object(rng, used, S);
+    ev.at = 20'000 + rng.uniform(0, 280'000);
+    s.events.push_back(std::move(ev));
+  }
+}
+
+/// Sequential (non-overlapping) hold/release waves, each isolating a fresh
+/// random subset of at most `max_held` objects -- the proofs' "messages
+/// remain in transit" tactic. Every wave releases, so runs stay legal.
+void add_hold_waves(Scenario& s, Rng& rng, int waves, int max_held, int S) {
+  Time cursor = 10'000 + rng.uniform(0, 20'000);
+  for (int w = 0; w < waves; ++w) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::Hold;
+    ev.at = cursor;
+    ev.duration = 15'000 + rng.uniform(0, 45'000);
+    const int count =
+        1 + static_cast<int>(rng.index(static_cast<std::size_t>(max_held)));
+    std::vector<int> wave_used;
+    for (int i = 0; i < count; ++i) {
+      ev.held.push_back(pick_object(rng, wave_used, S));
+    }
+    cursor = ev.at + ev.duration + 10'000 + rng.uniform(0, 30'000);
+    s.events.push_back(std::move(ev));
+  }
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FaultTemplate t) {
+  switch (t) {
+    case FaultTemplate::None: return "none";
+    case FaultTemplate::Crash: return "crash";
+    case FaultTemplate::Byz: return "byz";
+    case FaultTemplate::Mixed: return "mixed";
+    case FaultTemplate::Chaos: return "chaos";
+    case FaultTemplate::ByzChaos: return "byzchaos";
+    case FaultTemplate::Overload: return "overload";
+  }
+  return "?";
+}
+
+std::optional<FaultTemplate> fault_template_from_name(std::string_view name) {
+  for (const auto t :
+       {FaultTemplate::None, FaultTemplate::Crash, FaultTemplate::Byz,
+        FaultTemplate::Mixed, FaultTemplate::Chaos, FaultTemplate::ByzChaos,
+        FaultTemplate::Overload}) {
+    if (name == to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+const std::vector<FaultTemplate>& default_fault_templates() {
+  static const std::vector<FaultTemplate> templates(
+      std::begin(kDefaultTemplates), std::end(kDefaultTemplates));
+  return templates;
+}
+
+std::string FaultEvent::describe() const {
+  char buf[96];
+  switch (kind) {
+    case Kind::Byzantine:
+      std::snprintf(buf, sizeof(buf), "byzantine object %d (%s)", object,
+                    adversary::to_string(strategy));
+      return buf;
+    case Kind::Crash:
+      std::snprintf(buf, sizeof(buf), "crash object %d at t=%llu", object,
+                    static_cast<unsigned long long>(at));
+      return buf;
+    case Kind::Hold: {
+      std::string objs;
+      for (const int o : held) {
+        if (!objs.empty()) objs += ",";
+        objs += std::to_string(o);
+      }
+      std::snprintf(buf, sizeof(buf), "hold objects {%s} during [%llu, %llu)",
+                    objs.c_str(), static_cast<unsigned long long>(at),
+                    static_cast<unsigned long long>(at + duration));
+      return buf;
+    }
+  }
+  return "?";
+}
+
+std::string Scenario::key() const {
+  return std::string(protocol_traits(protocol).cli_name) + ":" +
+         harness::to_string(backend) + ":" + harness::to_string(tmpl) + ":" +
+         std::to_string(seed);
+}
+
+SweepPlan SweepPlan::quick() {
+  SweepPlan plan;
+  plan.protocols = {Protocol::Safe, Protocol::Regular, Protocol::Abd};
+  plan.backends = {BackendKind::Sim, BackendKind::Threads};
+  plan.templates = default_fault_templates();
+  plan.seeds = 28;  // 3 x 2 x 6 x 28 = 1008 cells
+  plan.writes = 5;
+  plan.reads_per_reader = 3;
+  return plan;
+}
+
+SweepEngine::SweepEngine(SweepPlan plan) : plan_(std::move(plan)) {
+  RR_ASSERT(!plan_.protocols.empty());
+  RR_ASSERT(!plan_.backends.empty());
+  RR_ASSERT(!plan_.templates.empty());
+  RR_ASSERT(plan_.seeds >= 1);
+}
+
+Scenario SweepEngine::materialize(std::size_t index) const {
+  RR_ASSERT(index < plan_.num_cells());
+  const std::size_t seeds = static_cast<std::size_t>(plan_.seeds);
+  const std::size_t si = index % seeds;
+  const std::size_t ti = (index / seeds) % plan_.templates.size();
+  const std::size_t bi =
+      (index / (seeds * plan_.templates.size())) % plan_.backends.size();
+  const std::size_t pi =
+      index / (seeds * plan_.templates.size() * plan_.backends.size());
+  return materialize(plan_.protocols[pi], plan_.backends[bi],
+                     plan_.templates[ti], plan_.base_seed + si);
+}
+
+Scenario SweepEngine::materialize(Protocol p, BackendKind backend,
+                                  FaultTemplate tmpl,
+                                  std::uint64_t seed) const {
+  RR_ASSERT_MSG(tmpl != FaultTemplate::Overload || backend == BackendKind::Sim,
+                "the overload template stalls quorums forever; only the DES "
+                "runs it without aborting");
+  Scenario s;
+  s.protocol = p;
+  s.backend = backend;
+  s.tmpl = tmpl;
+  s.seed = seed;
+  s.t = plan_.t;
+  s.b = plan_.b;
+  s.readers = plan_.readers;
+  s.check_override = plan_.check_override;
+
+  Rng rng(cell_seed(p, backend, tmpl, seed));
+  const auto& traits = protocol_traits(p);
+  // The protocol's own resilience recipe decides the effective budget: ABD
+  // forces b = 0, fastwrite buys extra objects. Fault generation must stay
+  // within what the deployment will actually tolerate.
+  const Resilience res = traits.resilience_for(s.t, s.b, s.readers);
+  const int S = res.num_objects;
+  const int t = res.t;
+  const int b = res.b;
+
+  s.writes = half_to_full(rng, plan_.writes);
+  s.reads_per_reader = half_to_full(rng, plan_.reads_per_reader);
+  s.write_gap = 2'000 + rng.uniform(0, 8'000);
+  s.read_gap = 1'500 + rng.uniform(0, 6'000);
+  s.shards = rng.chance(0.25) ? 2 : 1;
+
+  std::vector<int> used;  // objects already faulty (distinct across kinds)
+  switch (tmpl) {
+    case FaultTemplate::None:
+      break;
+    case FaultTemplate::Crash:
+      add_crashes(s, rng, used, 1 + static_cast<int>(rng.index(
+                                      static_cast<std::size_t>(t))),
+                  S);
+      break;
+    case FaultTemplate::Byz:
+      // Crash-only protocols (b = 0) degrade to the crash template so the
+      // grid stays total.
+      if (b > 0) {
+        add_byzantine(s, rng, used,
+                      1 + static_cast<int>(rng.index(
+                              static_cast<std::size_t>(b))),
+                      S);
+      } else {
+        add_crashes(s, rng, used, 1 + static_cast<int>(rng.index(
+                                        static_cast<std::size_t>(t))),
+                    S);
+      }
+      break;
+    case FaultTemplate::Mixed: {
+      const int byz = b > 0 ? 1 + static_cast<int>(rng.index(
+                                      static_cast<std::size_t>(b)))
+                            : 0;
+      add_byzantine(s, rng, used, byz, S);
+      if (t - byz > 0) {
+        add_crashes(s, rng, used,
+                    static_cast<int>(rng.index(
+                        static_cast<std::size_t>(t - byz + 1))),
+                    S);
+      }
+      break;
+    }
+    case FaultTemplate::Chaos:
+      add_hold_waves(s, rng,
+                     2 + static_cast<int>(rng.index(std::size_t{3})), t, S);
+      break;
+    case FaultTemplate::ByzChaos: {
+      // Leave at least one unit of the crash budget t for held objects so
+      // quorums stay reachable between waves.
+      const int byz_cap = b < t ? b : t - 1;
+      const int byz = byz_cap > 0 ? 1 + static_cast<int>(rng.index(
+                                            static_cast<std::size_t>(byz_cap)))
+                                  : 0;
+      add_byzantine(s, rng, used, byz, S);
+      add_hold_waves(s, rng,
+                     2 + static_cast<int>(rng.index(std::size_t{3})),
+                     t - byz > 0 ? t - byz : 1, S);
+      break;
+    }
+    case FaultTemplate::Overload:
+      // t+1 crashes exceed the budget: quorums of S-t become permanently
+      // unreachable and operations stall -- the engine's deliberate
+      // liveness violation. The hold waves are pure noise the shrinker
+      // must strip away. All t+1 crashes land within the first few
+      // operations' lifetime (long before the workload can drain), so the
+      // stall is guaranteed, not schedule-dependent.
+      add_crashes(s, rng, used, t + 1, S);
+      for (auto& ev : s.events) {
+        if (ev.kind == FaultEvent::Kind::Crash) {
+          ev.at = 5'000 + ev.at % 25'000;
+        }
+      }
+      add_hold_waves(s, rng, 2, 1, S);
+      break;
+  }
+  return s;
+}
+
+std::optional<Scenario> SweepEngine::materialize_key(
+    std::string_view key) const {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const auto colon = key.find(':', start);
+    parts.emplace_back(key.substr(start, colon - start));
+    if (colon == std::string_view::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() != 4) return std::nullopt;
+  const auto protocol = protocol_from_name(parts[0]);
+  const auto backend = backend_from_name(parts[1]);
+  const auto tmpl = fault_template_from_name(parts[2]);
+  if (!protocol || !backend || !tmpl || parts[3].empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(parts[3].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  if (*tmpl == FaultTemplate::Overload && *backend != BackendKind::Sim) {
+    return std::nullopt;
+  }
+  return materialize(*protocol, *backend, *tmpl, seed);
+}
+
+CellVerdict SweepEngine::run_cell(const Scenario& s) {
+  const auto& traits = protocol_traits(s.protocol);
+  DeploymentOptions opts;
+  opts.protocol = s.protocol;
+  opts.backend = s.backend;
+  opts.res = traits.resilience_for(s.t, s.b, s.readers);
+  opts.shards = s.shards;
+  opts.seed = fold(cell_seed(s.protocol, s.backend, s.tmpl, s.seed),
+                   0x5eedull);
+  opts.trace_fingerprint = s.backend == BackendKind::Sim;
+  for (const auto& ev : s.events) {
+    if (ev.kind == FaultEvent::Kind::Byzantine) {
+      opts.faults.byzantine[ev.object] = ev.strategy;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Deployment d(opts);
+  Backend& backend = d.backend();
+  for (const auto& ev : s.events) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::Byzantine:
+        break;  // applied at construction
+      case FaultEvent::Kind::Crash: {
+        const ProcessId pid = d.object_pid(ev.object);
+        backend.post(ev.at, d.writer_pid(),
+                     [&backend, pid](net::Context&) { backend.crash(pid); });
+        break;
+      }
+      case FaultEvent::Kind::Hold: {
+        // Hold and release are scheduled up front as two timed steps of the
+        // shard-0 writer (purely for scheduling; they only touch channel
+        // state), exactly like harness::inject_chaos waves.
+        std::vector<ProcessId> pids;
+        pids.reserve(ev.held.size());
+        for (const int o : ev.held) pids.push_back(d.object_pid(o));
+        backend.post(ev.at, d.writer_pid(),
+                     [&backend, pids](net::Context&) {
+                       for (const ProcessId p : pids) backend.hold_all(p);
+                     });
+        backend.post(ev.at + ev.duration, d.writer_pid(),
+                     [&backend, pids = std::move(pids)](net::Context&) {
+                       for (const ProcessId p : pids) backend.release_all(p);
+                     });
+        break;
+      }
+    }
+  }
+
+  MixedWorkloadOptions w;
+  w.writes = s.writes;
+  w.reads_per_reader = s.reads_per_reader;
+  w.write_gap = s.write_gap;
+  w.read_gap = s.read_gap;
+  mixed_workload(d, w);
+  const std::uint64_t events = d.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CellVerdict v;
+  v.key = s.key();
+  v.protocol = s.protocol;
+  v.backend = s.backend;
+  v.tmpl = s.tmpl;
+  v.seed = s.seed;
+  v.events = events;
+  v.net = d.stats();
+  v.write_p95 = d.write_latency().p95();
+  v.read_p95 = d.read_latency().p95();
+  v.wall_ms =
+      std::chrono::duration<double>(t1 - t0).count() * 1e3;
+
+  const checker::CheckReport report =
+      s.check_override ? d.check(*s.check_override) : d.check();
+  v.violations = static_cast<int>(report.violations.size());
+  if (!report.violations.empty()) v.first_violation = report.violations[0];
+
+  std::uint64_t history_fp = 0x243f6a8885a308d3ULL;  // arbitrary nonzero
+  for (int shard = 0; shard < d.shards(); ++shard) {
+    for (const auto& op : d.log(shard).snapshot()) {
+      if (op.complete) {
+        ++v.ops_complete;
+      } else {
+        ++v.ops_stuck;
+      }
+      history_fp = fold(history_fp,
+                        (op.kind == checker::OpRecord::Kind::Write ? 1u : 2u) ^
+                            (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(op.client))
+                             << 8));
+      history_fp = fold(history_fp, op.invoked_at);
+      history_fp = fold(history_fp, op.responded_at);
+      history_fp = fold(history_fp, op.complete ? op.ts : ~std::uint64_t{0});
+      history_fp = fold_bytes(history_fp, op.value);
+    }
+  }
+  v.ok = report.ok() && v.ops_stuck == 0;
+  if (v.first_violation.empty() && v.ops_stuck > 0) {
+    v.first_violation = "liveness: " + std::to_string(v.ops_stuck) +
+                        " operation(s) never completed";
+  }
+
+  if (s.backend == BackendKind::Sim) {
+    const sim::World* world = d.backend().world();
+    RR_ASSERT(world != nullptr);
+    std::uint64_t fp = fold(world->schedule_fingerprint(), history_fp);
+    fp = fold(fp, v.net.messages_sent);
+    fp = fold(fp, v.net.messages_delivered);
+    fp = fold(fp, v.net.messages_dropped);
+    fp = fold(fp, v.net.bytes_sent);
+    v.fingerprint = fp;
+  }
+  return v;
+}
+
+ShrinkResult SweepEngine::shrink(const Scenario& s) {
+  ShrinkResult result;
+  result.key = s.key();
+  result.seed = s.seed;
+  result.original_events = static_cast<int>(s.events.size());
+
+  auto rerun_fails = [&result](const Scenario& sc, std::string* violation) {
+    ++result.reruns;
+    CellVerdict v = run_cell(sc);
+    if (violation != nullptr) *violation = std::move(v.first_violation);
+    return !v.ok;
+  };
+
+  Scenario current = s;
+  std::string violation;
+  const bool failing = rerun_fails(current, &violation);
+  RR_ASSERT_MSG(failing, "shrink() requires a failing scenario");
+
+  // Greedy: drop one fault event at a time; keep any drop that preserves
+  // the failure; restart until no single drop does. The fixpoint is minimal
+  // by construction -- removing any remaining event makes the run pass.
+  bool progress = true;
+  while (progress && !current.events.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < current.events.size(); ++i) {
+      Scenario candidate = current;
+      candidate.events.erase(candidate.events.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      std::string cand_violation;
+      if (rerun_fails(candidate, &cand_violation)) {
+        current = std::move(candidate);
+        violation = std::move(cand_violation);
+        progress = true;
+        break;
+      }
+    }
+  }
+  result.minimal = std::move(current);
+  result.first_violation = std::move(violation);
+  return result;
+}
+
+SweepReport SweepEngine::run(int workers) const {
+  const std::size_t n = plan_.num_cells();
+  SweepReport report;
+  report.cells.resize(n);
+
+  int w = workers > 0
+              ? workers
+              : static_cast<int>(std::thread::hardware_concurrency());
+  if (w < 1) w = 1;
+  if (static_cast<std::size_t>(w) > n) w = static_cast<int>(n);
+  report.workers = w;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  // Cells are claimed by atomic index and written back by index, sharing no
+  // mutable state: a DES cell's verdict is a pure function of its key, so
+  // those rows are bit-identical for every worker count (pinned by
+  // tests/test_sweep.cpp). Threads cells are wall-clock runs and vary
+  // between executions regardless of worker count.
+  auto drain = [this, n, &next, &report] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      report.cells[i] = run_cell(materialize(i));
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(w) - 1);
+  for (int i = 1; i < w; ++i) pool.emplace_back(drain);
+  drain();
+  for (auto& th : pool) th.join();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!report.cells[i].ok) ++report.failed;
+  }
+  // Shrink the first few failing DES cells (serially: shrinking re-runs the
+  // cell O(events^2) times, and failures should be rare).
+  int shrunk = 0;
+  for (std::size_t i = 0; i < n && shrunk < plan_.max_shrinks; ++i) {
+    if (report.cells[i].ok || report.cells[i].backend != BackendKind::Sim) {
+      continue;
+    }
+    report.shrinks.push_back(shrink(materialize(i)));
+    ++shrunk;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  report.wall_ms =
+      std::chrono::duration<double>(t1 - t0).count() * 1e3;
+  return report;
+}
+
+bool SweepEngine::write_json(const SweepReport& report, const SweepPlan& plan,
+                             const std::string& path) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"bench\": \"scenario_sweep\",\n");
+  std::fprintf(out, "  \"plan\": {\n    \"protocols\": [");
+  for (std::size_t i = 0; i < plan.protocols.size(); ++i) {
+    std::fprintf(out, "%s\"%s\"", i > 0 ? ", " : "",
+                 protocol_traits(plan.protocols[i]).cli_name);
+  }
+  std::fprintf(out, "],\n    \"backends\": [");
+  for (std::size_t i = 0; i < plan.backends.size(); ++i) {
+    std::fprintf(out, "%s\"%s\"", i > 0 ? ", " : "",
+                 harness::to_string(plan.backends[i]));
+  }
+  std::fprintf(out, "],\n    \"templates\": [");
+  for (std::size_t i = 0; i < plan.templates.size(); ++i) {
+    std::fprintf(out, "%s\"%s\"", i > 0 ? ", " : "",
+                 harness::to_string(plan.templates[i]));
+  }
+  std::fprintf(out,
+               "],\n    \"seeds\": %d,\n    \"base_seed\": %llu,\n"
+               "    \"t\": %d,\n    \"b\": %d,\n    \"readers\": %d,\n"
+               "    \"writes\": %d,\n    \"reads_per_reader\": %d\n  },\n",
+               plan.seeds, static_cast<unsigned long long>(plan.base_seed),
+               plan.t, plan.b, plan.readers, plan.writes,
+               plan.reads_per_reader);
+  std::fprintf(out,
+               "  \"cells_total\": %zu,\n  \"cells_failed\": %d,\n"
+               "  \"workers\": %d,\n  \"wall_ms\": %.1f,\n",
+               report.cells.size(), report.failed, report.workers,
+               report.wall_ms);
+  std::fprintf(out, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const auto& c = report.cells[i];
+    std::fprintf(
+        out,
+        "    {\"key\": \"%s\", \"ok\": %s, \"violations\": %d, "
+        "\"ops\": %d, \"stuck\": %d, \"events\": %llu, \"msgs\": %llu, "
+        "\"bytes\": %llu, \"write_p95\": %llu, \"read_p95\": %llu, "
+        "\"fingerprint\": \"%016llx\", \"wall_ms\": %.3f}%s\n",
+        c.key.c_str(), c.ok ? "true" : "false", c.violations, c.ops_complete,
+        c.ops_stuck, static_cast<unsigned long long>(c.events),
+        static_cast<unsigned long long>(c.net.messages_sent),
+        static_cast<unsigned long long>(c.net.bytes_sent),
+        static_cast<unsigned long long>(c.write_p95),
+        static_cast<unsigned long long>(c.read_p95),
+        static_cast<unsigned long long>(c.fingerprint), c.wall_ms,
+        i + 1 < report.cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"failures\": [\n");
+  std::size_t emitted = 0;
+  const std::size_t failures = static_cast<std::size_t>(report.failed);
+  for (const auto& c : report.cells) {
+    if (c.ok) continue;
+    const ShrinkResult* shrink = nullptr;
+    for (const auto& sr : report.shrinks) {
+      if (sr.key == c.key) shrink = &sr;
+    }
+    std::fprintf(out,
+                 "    {\"key\": \"%s\", \"violation\": \"%s\"",
+                 c.key.c_str(), json_escape(c.first_violation).c_str());
+    if (shrink != nullptr) {
+      std::fprintf(out,
+                   ", \"shrink\": {\"original_events\": %d, "
+                   "\"minimal_events\": %zu, \"reruns\": %d, "
+                   "\"schedule\": [",
+                   shrink->original_events, shrink->minimal.events.size(),
+                   shrink->reruns);
+      for (std::size_t i = 0; i < shrink->minimal.events.size(); ++i) {
+        std::fprintf(out, "%s\"%s\"", i > 0 ? ", " : "",
+                     json_escape(shrink->minimal.events[i].describe()).c_str());
+      }
+      std::fprintf(out, "], \"replay\": \"--replay %s\"}",
+                   shrink->key.c_str());
+    }
+    ++emitted;
+    std::fprintf(out, "}%s\n", emitted < failures ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace rr::harness

@@ -1,0 +1,232 @@
+// Deterministic multi-seed scenario sweep engine.
+//
+// A SweepPlan is a grid of {protocol x backend x fault-plan template x RNG
+// seed}. The engine materializes one deterministic Scenario per cell -- a
+// seeded chaos schedule of crashes, held-channel waves, Byzantine impostors
+// (forged values), plus a seeded workload mix and shard count -- runs the
+// cells concurrently on a thread pool (one private Deployment, hence one
+// private sim::World, per cell: the DES is single-threaded-deterministic,
+// so N worlds saturate N cores), and aggregates per-cell verdicts into a
+// SweepReport (history-checker pass/fail, liveness, NetStats, latency p95,
+// and on the DES a golden schedule fingerprint).
+//
+// Every cell is addressed by a canonical key, "protocol:backend:template:
+// seed" (e.g. "safe:des:chaos:42"); materialization depends only on the key
+// and the plan's budget/workload knobs, never on worker count or execution
+// order, so any cell -- in particular any *failing* cell -- is replayable
+// with one CLI flag (sweep_cli --replay KEY). DES cells replay bit-
+// identically (same fingerprint); threads cells replay the same schedule
+// under genuine wall-clock nondeterminism.
+//
+// When a cell fails, the engine re-runs it under a greedy fault-plan
+// shrinker: drop one fault event at a time, keep the candidate whenever the
+// failure persists, repeat until no single drop preserves the failure. The
+// result is a minimal failing schedule (removing any remaining event makes
+// the failure disappear) small enough to read, plus the seed to replay it.
+//
+// The "overload" template deliberately exceeds the crash budget (t+1 timed
+// crashes plus droppable hold-wave noise), so quorums become permanently
+// unreachable and reads stall: a guaranteed liveness failure that exercises
+// the failure-detection + shrinking + replay pipeline end-to-end. It is
+// excluded from default_fault_templates() -- CI sweeps must be all green --
+// and is DES-only (the threads backend aborts on non-quiescence).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "harness/backend.hpp"
+#include "harness/protocol.hpp"
+#include "net/stats.hpp"
+
+namespace rr::harness {
+
+/// Fault-plan templates: the shapes of adversarial schedule a cell's seed
+/// is expanded into (Section 2's fault model: up to t faulty objects, up to
+/// b of them arbitrary, plus scheduler-controlled asynchrony).
+enum class FaultTemplate {
+  None,      ///< fault-free (pure workload + random delays)
+  Crash,     ///< <= t timed crashes
+  Byz,       ///< <= b Byzantine impostors, random strategies
+  Mixed,     ///< Byzantine + crashes, within the (t, b) budget
+  Chaos,     ///< held-channel waves ("messages remain in transit")
+  ByzChaos,  ///< Byzantine + held-channel waves
+  Overload,  ///< t+1 crashes: deliberate liveness violation (DES only)
+};
+
+[[nodiscard]] const char* to_string(FaultTemplate t);
+[[nodiscard]] std::optional<FaultTemplate> fault_template_from_name(
+    std::string_view name);
+/// The templates a default sweep grid runs (everything except Overload).
+[[nodiscard]] const std::vector<FaultTemplate>& default_fault_templates();
+
+/// One discrete, independently droppable fault of a materialized schedule.
+/// The shrinker works at this granularity.
+struct FaultEvent {
+  enum class Kind {
+    Byzantine,  ///< impostor object from construction time
+    Crash,      ///< object crashes at `at`
+    Hold,       ///< channels of `held` objects held during [at, at+duration)
+  };
+
+  Kind kind{Kind::Crash};
+  int object{0};  ///< Byzantine/Crash: object index
+  adversary::StrategyKind strategy{adversary::StrategyKind::Silent};
+  Time at{0};        ///< Crash: crash time; Hold: wave start
+  Time duration{0};  ///< Hold: released at `at + duration`
+  std::vector<int> held;  ///< Hold: object indices isolated by the wave
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A fully materialized sweep cell: everything needed to run it, and
+/// nothing that depends on where or when it runs.
+struct Scenario {
+  Protocol protocol{Protocol::Safe};
+  BackendKind backend{BackendKind::Sim};
+  FaultTemplate tmpl{FaultTemplate::None};
+  std::uint64_t seed{1};
+
+  int t{2};
+  int b{1};
+  int readers{2};
+  int shards{1};
+  int writes{6};
+  int reads_per_reader{4};
+  Time write_gap{5'000};
+  Time read_gap{3'000};
+
+  /// Check against these semantics instead of the protocol's promise. A
+  /// *stronger* override (e.g. Atomic on a safe protocol) is the other
+  /// supported way to deliberately inject checker violations.
+  std::optional<Semantics> check_override{};
+
+  std::vector<FaultEvent> events;
+
+  /// Canonical cell address: "protocol:backend:template:seed".
+  [[nodiscard]] std::string key() const;
+};
+
+/// Per-cell outcome. A cell is OK iff the history checker passes AND every
+/// invoked operation completed (wait-freedom within the budget).
+struct CellVerdict {
+  std::string key;
+  Protocol protocol{Protocol::Safe};
+  BackendKind backend{BackendKind::Sim};
+  FaultTemplate tmpl{FaultTemplate::None};
+  std::uint64_t seed{1};
+
+  bool ok{false};
+  int violations{0};
+  std::string first_violation;  ///< empty when the checker passed
+  int ops_complete{0};
+  int ops_stuck{0};
+  std::uint64_t events{0};  ///< DES events / threads messages delivered
+  net::NetStats net{};
+  Time write_p95{0};  ///< backend clock units (virtual ns on the DES)
+  Time read_p95{0};
+  /// DES cells: hash of (schedule fingerprint, per-shard histories,
+  /// NetStats). Bit-identical across runs and worker counts for the same
+  /// key + plan knobs. 0 on the threads backend (nondeterministic).
+  std::uint64_t fingerprint{0};
+  double wall_ms{0};
+};
+
+/// The sweep grid plus the budget/workload knobs every cell inherits.
+struct SweepPlan {
+  std::vector<Protocol> protocols;
+  std::vector<BackendKind> backends{BackendKind::Sim,
+                                    BackendKind::Threads};
+  std::vector<FaultTemplate> templates{default_fault_templates()};
+  /// Seed axis: cells use seeds base_seed .. base_seed + seeds - 1.
+  int seeds{16};
+  std::uint64_t base_seed{1};
+
+  int t{2};
+  int b{1};
+  int readers{2};
+  /// Workload scale: per-cell values are drawn from the cell seed in
+  /// [ceil(x/2), x] so the mix varies across cells.
+  int writes{6};
+  int reads_per_reader{4};
+  std::optional<Semantics> check_override{};
+  /// Failing DES cells shrunk per run (threads failures are reported
+  /// unshrunk: their schedules do not replay deterministically).
+  int max_shrinks{4};
+
+  [[nodiscard]] std::size_t num_cells() const {
+    return protocols.size() * backends.size() * templates.size() *
+           static_cast<std::size_t>(seeds);
+  }
+
+  /// The CI quick grid: 3 protocols x both backends x the 6 default
+  /// templates x 28 seeds = 1008 cells, small per-cell workloads.
+  [[nodiscard]] static SweepPlan quick();
+};
+
+/// Outcome of greedily shrinking one failing cell.
+struct ShrinkResult {
+  std::string key;          ///< the failing cell's address
+  std::uint64_t seed{0};
+  int original_events{0};   ///< fault events before shrinking
+  int reruns{0};            ///< scenario re-executions the shrinker spent
+  Scenario minimal;         ///< minimal failing schedule (same cell, fewer events)
+  std::string first_violation;  ///< of the minimal schedule's run
+};
+
+struct SweepReport {
+  std::vector<CellVerdict> cells;  ///< grid order (protocol-major)
+  std::vector<ShrinkResult> shrinks;
+  int failed{0};
+  int workers{0};
+  double wall_ms{0};
+
+  [[nodiscard]] bool all_ok() const { return failed == 0; }
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepPlan plan);
+
+  [[nodiscard]] const SweepPlan& plan() const { return plan_; }
+
+  /// Materializes cell `index` of the grid (seed-major within template
+  /// within backend within protocol).
+  [[nodiscard]] Scenario materialize(std::size_t index) const;
+  /// Materializes the cell at explicit grid coordinates.
+  [[nodiscard]] Scenario materialize(Protocol p, BackendKind backend,
+                                     FaultTemplate tmpl,
+                                     std::uint64_t seed) const;
+  /// Parses a canonical cell key and materializes it (plan knobs apply;
+  /// the key's coordinates need not lie on the plan's grid axes).
+  [[nodiscard]] std::optional<Scenario> materialize_key(
+      std::string_view key) const;
+
+  /// Runs one scenario to completion in the calling thread.
+  [[nodiscard]] static CellVerdict run_cell(const Scenario& s);
+
+  /// Greedy fault-plan shrinker. Requires run_cell(s) to fail; returns the
+  /// minimal failing schedule (dropping any single remaining event makes
+  /// the failure disappear).
+  [[nodiscard]] static ShrinkResult shrink(const Scenario& s);
+
+  /// Runs the whole grid on `workers` threads (0 = hardware concurrency),
+  /// then shrinks up to plan.max_shrinks failing DES cells. DES cell
+  /// verdicts are bit-identical across runs and worker counts; threads
+  /// cells are genuine wall-clock runs whose timing-derived fields
+  /// (events, NetStats, p95, wall_ms) vary between executions.
+  [[nodiscard]] SweepReport run(int workers = 0) const;
+
+  /// Writes BENCH_scenario_sweep-style JSON. Returns false on I/O error.
+  static bool write_json(const SweepReport& report, const SweepPlan& plan,
+                         const std::string& path);
+
+ private:
+  SweepPlan plan_;
+};
+
+}  // namespace rr::harness

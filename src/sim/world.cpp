@@ -293,6 +293,22 @@ void World::deliver_one(net::Context& ctx, ProcSlot& slot, ProcessId from,
   }
 }
 
+void World::fp_note(const EventKey& key, const EventBody& body) {
+  // Everything that identifies the executed step: when, who stepped, what
+  // kind of event, and for deliveries the sender and message type. The
+  // slab index and seq are deliberately excluded -- they are allocation
+  // details, not schedule semantics.
+  const auto kind =
+      key.is_delivery ? static_cast<std::uint64_t>(body.msg.index()) + 2 : 1;
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.dest))
+       << 32) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(body.from + 1))
+       << 8) |
+      kind;
+  fp_ = mix64(fp_ ^ key.at ^ packed);
+}
+
 bool World::step() {
   if (heap_.empty()) return false;
   RR_ASSERT_MSG(executed_ < opts_.max_events,
@@ -310,6 +326,7 @@ bool World::step() {
   executed_++;
   RR_ASSERT(key.at >= now_);
   now_ = key.at;
+  if (opts_.trace_fingerprint) fp_note(key, body);
   auto& slot = procs_[static_cast<std::size_t>(key.dest)];
   WorldContext ctx(*this, key.dest);
   if (key.is_delivery) {
@@ -331,6 +348,7 @@ std::uint64_t World::step_batch() {
   executed_++;
   RR_ASSERT(key.at >= now_);
   now_ = key.at;
+  if (opts_.trace_fingerprint) fp_note(key, body);
   auto& slot = procs_[static_cast<std::size_t>(key.dest)];
   WorldContext ctx(*this, key.dest);
   if (!key.is_delivery) {
@@ -351,10 +369,12 @@ std::uint64_t World::step_batch() {
     RR_ASSERT_MSG(executed_ < opts_.max_events,
                   "event budget exhausted: likely livelock in a protocol");
     (void)heap_pop();
+    const EventKey bk = keys_[top];  // slab may grow during delivery
     EventBody b = std::move(bodies_[top]);
     free_.push_back(top);
     executed_++;
     ++n;
+    if (opts_.trace_fingerprint) fp_note(bk, b);
     deliver_one(ctx, slot, b.from, b.msg);
   }
   return n;

@@ -68,6 +68,12 @@ struct WorldOptions {
   bool reserialize{false};
   /// Hard cap on executed events (guards against non-terminating bugs).
   std::uint64_t max_events{50'000'000};
+  /// Maintain a running hash of the executed schedule (time, destination,
+  /// event kind, message type of every event, in execution order). Two runs
+  /// with the same seed and inputs produce the same fingerprint; any
+  /// divergence in delivery order changes it. Off by default: it costs a
+  /// handful of arithmetic ops per event on the hot path.
+  bool trace_fingerprint{false};
 };
 
 class World {
@@ -132,6 +138,12 @@ class World {
   std::uint64_t run_until(Time deadline);
 
   [[nodiscard]] Time now() const { return now_; }
+
+  /// Running hash of the executed schedule (see
+  /// WorldOptions::trace_fingerprint). 0 until an event executes with
+  /// tracing on; bit-identical across runs for identical schedules.
+  [[nodiscard]] std::uint64_t schedule_fingerprint() const { return fp_; }
+
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   NetStats& mutable_stats() { return stats_; }
@@ -178,6 +190,10 @@ class World {
   void deliver_one(net::Context& ctx, ProcSlot& slot, ProcessId from,
                    wire::Message& msg);
 
+  /// Folds one executed event into the schedule fingerprint (SplitMix64
+  /// finalizer over (at, dest, from, kind)). Caller checks the option flag.
+  void fp_note(const EventKey& key, const EventBody& body);
+
   // Slab + free list + index heap.
   [[nodiscard]] EventIndex alloc_event();
   [[nodiscard]] bool event_before(EventIndex a, EventIndex b) const {
@@ -209,6 +225,7 @@ class World {
   Time now_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
+  std::uint64_t fp_{0};
   std::vector<ProcSlot> procs_;
 
   std::vector<EventKey> keys_;      ///< event slab, hot (at, seq, dest) half

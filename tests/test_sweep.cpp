@@ -1,0 +1,184 @@
+// Sweep-engine guarantees: seeded-chaos determinism (same seed => bit-
+// identical cell fingerprints, across repeated runs and across worker
+// counts; different seeds => distinct schedules), deliberate-violation
+// shrinking to a minimal replayable schedule, and the quick grid's CI
+// contract (>= 1000 cells, >= 3 protocols, both backends).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/sweep.hpp"
+
+namespace rr::harness {
+namespace {
+
+SweepPlan small_des_plan() {
+  SweepPlan plan;
+  plan.protocols = {Protocol::Safe, Protocol::Regular};
+  plan.backends = {BackendKind::Sim};
+  plan.templates = {FaultTemplate::Crash, FaultTemplate::Chaos,
+                    FaultTemplate::ByzChaos};
+  plan.seeds = 6;
+  return plan;
+}
+
+TEST(Sweep, SameSeedBitIdenticalFingerprintAcrossRuns) {
+  SweepEngine engine(small_des_plan());
+  for (std::size_t i = 0; i < engine.plan().num_cells(); i += 7) {
+    const Scenario s = engine.materialize(i);
+    const CellVerdict a = SweepEngine::run_cell(s);
+    const CellVerdict b = SweepEngine::run_cell(s);
+    EXPECT_TRUE(a.ok) << a.key << ": " << a.first_violation;
+    EXPECT_NE(a.fingerprint, 0u) << a.key;
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << a.key;
+    EXPECT_EQ(a.events, b.events) << a.key;
+    EXPECT_EQ(a.net.bytes_sent, b.net.bytes_sent) << a.key;
+    EXPECT_EQ(a.read_p95, b.read_p95) << a.key;
+  }
+}
+
+TEST(Sweep, WorkerCountDoesNotChangeVerdicts) {
+  SweepEngine engine(small_des_plan());
+  const SweepReport serial = engine.run(1);
+  const SweepReport parallel = engine.run(4);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].key, parallel.cells[i].key);
+    EXPECT_EQ(serial.cells[i].fingerprint, parallel.cells[i].fingerprint)
+        << serial.cells[i].key;
+    EXPECT_EQ(serial.cells[i].ok, parallel.cells[i].ok);
+    EXPECT_EQ(serial.cells[i].events, parallel.cells[i].events);
+  }
+  EXPECT_EQ(serial.failed, 0);
+  EXPECT_EQ(parallel.failed, 0);
+}
+
+TEST(Sweep, DistinctSeedsProduceDistinctSchedules) {
+  SweepEngine engine(small_des_plan());
+  std::set<std::uint64_t> fingerprints;
+  constexpr std::uint64_t kSeeds = 24;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Scenario s = engine.materialize(Protocol::Safe, BackendKind::Sim,
+                                          FaultTemplate::Chaos, seed);
+    fingerprints.insert(SweepEngine::run_cell(s).fingerprint);
+  }
+  // A collision would mean two different seeds produced the same delivery
+  // schedule, history, and traffic -- the seed would not be reaching the
+  // chaos/workload generation.
+  EXPECT_EQ(fingerprints.size(), kSeeds);
+}
+
+TEST(Sweep, ReplayByKeyReproducesTheCell) {
+  SweepEngine engine(small_des_plan());
+  const Scenario original = engine.materialize(
+      Protocol::Regular, BackendKind::Sim, FaultTemplate::ByzChaos, 17);
+  const auto replayed = engine.materialize_key("regular:des:byzchaos:17");
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->key(), original.key());
+  EXPECT_EQ(SweepEngine::run_cell(*replayed).fingerprint,
+            SweepEngine::run_cell(original).fingerprint);
+
+  EXPECT_FALSE(engine.materialize_key("regular:des:byzchaos").has_value());
+  EXPECT_FALSE(engine.materialize_key("nope:des:chaos:1").has_value());
+  EXPECT_FALSE(engine.materialize_key("safe:des:chaos:x").has_value());
+  // Overload stalls quorums forever; replaying it on threads would abort.
+  EXPECT_FALSE(engine.materialize_key("safe:threads:overload:1").has_value());
+}
+
+TEST(Sweep, QuickGridMeetsTheCiContract) {
+  const SweepPlan quick = SweepPlan::quick();
+  EXPECT_GE(quick.num_cells(), 1000u);
+  EXPECT_GE(quick.protocols.size(), 3u);
+  EXPECT_EQ(quick.backends.size(), 2u);  // both substrates
+}
+
+// The overload template is the engine's deliberate liveness violation: t+1
+// timed crashes (quorums of S-t permanently unreachable) plus hold-wave
+// noise. The shrinker must strip the noise and return exactly the t+1
+// crashes -- a minimal schedule: dropping any one more crash re-enters the
+// budget and the run passes.
+TEST(Sweep, OverloadShrinksToMinimalCrashSchedule) {
+  SweepEngine engine(small_des_plan());
+  const Scenario s = engine.materialize(Protocol::Safe, BackendKind::Sim,
+                                        FaultTemplate::Overload, 1);
+  ASSERT_GT(s.events.size(), static_cast<std::size_t>(s.t + 1));
+
+  const CellVerdict full = SweepEngine::run_cell(s);
+  ASSERT_FALSE(full.ok);
+  EXPECT_GT(full.ops_stuck, 0);
+
+  const ShrinkResult shrunk = SweepEngine::shrink(s);
+  EXPECT_EQ(shrunk.original_events, static_cast<int>(s.events.size()));
+  ASSERT_EQ(shrunk.minimal.events.size(), static_cast<std::size_t>(s.t + 1));
+  for (const auto& ev : shrunk.minimal.events) {
+    EXPECT_EQ(ev.kind, FaultEvent::Kind::Crash);
+  }
+  // Still failing, and replayable through the reported key.
+  EXPECT_FALSE(SweepEngine::run_cell(shrunk.minimal).ok);
+  const auto replayed = engine.materialize_key(shrunk.key);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_FALSE(SweepEngine::run_cell(*replayed).ok);
+  // Minimality: dropping any single remaining crash re-enters the budget.
+  for (std::size_t i = 0; i < shrunk.minimal.events.size(); ++i) {
+    Scenario candidate = shrunk.minimal;
+    candidate.events.erase(candidate.events.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    EXPECT_TRUE(SweepEngine::run_cell(candidate).ok);
+  }
+}
+
+// A deliberately-injected *checker* violation: checking atomic semantics
+// against a protocol that only promises safe storage. Under a Byzantine
+// impostor the safe protocol legally returns stale values to reads
+// concurrent with writes, which the stronger checker flags. The shrinker
+// must pin the violation to the fault events it actually depends on.
+TEST(Sweep, SemanticsOverrideViolationShrinksAndReplays) {
+  SweepPlan plan = small_des_plan();
+  plan.protocols = {Protocol::Safe};
+  plan.templates = {FaultTemplate::Byz};
+  plan.seeds = 60;
+  plan.check_override = Semantics::Atomic;
+  SweepEngine engine(plan);
+
+  // Deterministic scan: given fixed generation code the first failing seed
+  // is always the same cell.
+  std::optional<Scenario> failing;
+  for (std::size_t i = 0; i < engine.plan().num_cells() && !failing; ++i) {
+    const Scenario s = engine.materialize(i);
+    const CellVerdict v = SweepEngine::run_cell(s);
+    if (!v.ok) {
+      EXPECT_GT(v.violations, 0) << "expected a checker violation, not "
+                                 << v.first_violation;
+      failing = s;
+    }
+  }
+  ASSERT_TRUE(failing.has_value())
+      << "no seed in the scan produced the injected violation";
+
+  const ShrinkResult shrunk = SweepEngine::shrink(*failing);
+  EXPECT_LE(shrunk.minimal.events.size(), failing->events.size());
+  EXPECT_FALSE(shrunk.first_violation.empty());
+  const CellVerdict minimal_run = SweepEngine::run_cell(shrunk.minimal);
+  EXPECT_FALSE(minimal_run.ok);
+  EXPECT_GT(minimal_run.violations, 0);
+}
+
+TEST(Sweep, JsonReportIsWritten) {
+  SweepPlan plan = small_des_plan();
+  plan.protocols = {Protocol::Safe};
+  plan.templates = {FaultTemplate::None};
+  plan.seeds = 2;
+  SweepEngine engine(plan);
+  const SweepReport report = engine.run(1);
+  const std::string path = ::testing::TempDir() + "sweep_report.json";
+  ASSERT_TRUE(SweepEngine::write_json(report, engine.plan(), path));
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_NE(std::string(buf).find("scenario_sweep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rr::harness
