@@ -12,7 +12,8 @@ reported and ignored (new protocols grow the baseline on the next --update).
 Understands the three quick-mode bench formats by their "bench" field:
   world_throughput      pool_loop.events_per_sec             (higher-better)
   protocol_comparison   per protocol x backend: ops_per_s,
-                        events_per_s                         (higher-better)
+                        events_per_s; plus the threads
+                        batched-vs-per-message speedup ratio (higher-better)
   latency_profile       per protocol x backend: writes.p95,
                         reads.p95                            (lower-better)
 
@@ -31,6 +32,7 @@ Usage:
 
 import argparse
 import json
+import re
 import shutil
 import sys
 
@@ -56,6 +58,13 @@ def extract_metrics(doc):
                                            HIGHER_IS_BETTER)
             metrics[f"{key}.events_per_s"] = (float(row["events_per_s"]),
                                               HIGHER_IS_BETTER)
+        # Machine-independent ratio of swap-drain batched delivery over the
+        # per-message reference path (both measured in the same run on the
+        # same machine, like the world-throughput pool-vs-seed speedup):
+        # drops the moment the threaded hot path loses its amortization.
+        if "threads_batch" in doc:
+            metrics["threads_batch_speedup"] = (
+                float(doc["threads_batch"]["speedup"]), HIGHER_IS_BETTER)
     elif bench == "latency_profile":
         for row in doc["rows"]:
             key = f"{row['protocol']}/{row['backend']}"
@@ -175,8 +184,37 @@ def main():
         print(f"  {line}")
 
     if args.update:
+        # The committed threads_batch.speedup is a hand-maintained
+        # conservative floor (see README), deliberately below the measured
+        # ratio so scheduler noise cannot trip the gate. A verbatim copy
+        # would silently replace the floor with a high-water sample, so
+        # keep the committed value whenever it is the lower of the two.
+        old_floor = None
+        try:
+            with open(args.baseline) as f:
+                old_doc = json.load(f)
+            old_floor = old_doc.get("threads_batch", {}).get("speedup")
+        except (OSError, ValueError):
+            pass
+        fresh_speedup = fresh_doc.get("threads_batch", {}).get("speedup")
         shutil.copyfile(args.fresh, args.baseline)
-        print(f"baseline updated from {args.fresh}")
+        if (old_floor is not None and fresh_speedup is not None
+                and old_floor < fresh_speedup):
+            # Patch only the speedup literal in the verbatim copy, so the
+            # file keeps the bench's own formatting and the measured
+            # batched/unbatched components stay as measured; the gated
+            # "speedup" alone is the conservative floor.
+            with open(args.baseline) as f:
+                text = f.read()
+            text = re.sub(r'("speedup": )[0-9.]+',
+                          lambda m: f"{m.group(1)}{old_floor:.3f}", text,
+                          count=1)
+            with open(args.baseline, "w") as f:
+                f.write(text)
+            print(f"baseline updated from {args.fresh} "
+                  f"(kept the committed speedup floor {old_floor})")
+        else:
+            print(f"baseline updated from {args.fresh}")
         return 0
     if failures:
         print(f"PERF REGRESSION: {len(failures)} metric(s) out of band:")

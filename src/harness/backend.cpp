@@ -90,6 +90,8 @@ class ThreadBackend final : public Backend {
     copts.seed = cfg.seed;
     copts.max_jitter_us = cfg.max_jitter_us;
     copts.reserialize = cfg.reserialize;
+    copts.batched_drain = cfg.threads_batched_drain;
+    copts.max_spin_iters = cfg.threads_max_spin;
     cluster_ = std::make_unique<runtime::Cluster>(copts);
   }
 

@@ -61,6 +61,14 @@ struct BackendConfig {
   // on one run-to-quiescence (a wait-free run only exceeds it on livelock).
   std::uint32_t max_jitter_us{0};
   std::uint64_t run_timeout_ms{120'000};
+  /// Threads only: swap-drain mailbox batching (default). False selects the
+  /// per-message reference path -- one lock/condvar round trip per envelope
+  /// -- used by the batching-speedup bench ratio and the delivery-semantics
+  /// parity tests. Semantics are identical either way.
+  bool threads_batched_drain{true};
+  /// Threads only: cap on the consumer's adaptive pre-park spin
+  /// (iterations; 0 parks immediately).
+  std::uint32_t threads_max_spin{256};
 };
 
 /// The runtime contract every execution substrate must honor. A new backend

@@ -61,6 +61,7 @@ void Deployment::build() {
   bcfg.delay_hi = opts_.delay_hi;
   bcfg.trace_fingerprint = opts_.trace_fingerprint;
   bcfg.max_jitter_us = opts_.thread_jitter_us;
+  bcfg.threads_batched_drain = opts_.thread_batched_drain;
   backend_ = make_backend(opts_.backend, bcfg);
 
   const ProtocolTraits& traits = protocol_traits(opts_.protocol);

@@ -75,6 +75,9 @@ struct DeploymentOptions {
   bool trace_fingerprint{false};
   /// Threads backend: max artificial delivery jitter (microseconds).
   std::uint32_t thread_jitter_us{0};
+  /// Threads backend: swap-drain mailbox batching (default); false selects
+  /// the per-message reference path (see BackendConfig).
+  bool thread_batched_drain{true};
   /// Regular-object history garbage collection: retain at most this many
   /// slots (0 = unlimited, the paper's presentation). Only meaningful for
   /// the Regular / RegularOptimized protocols.

@@ -10,14 +10,31 @@
 //
 // Every automaton is only ever touched by its owning thread, so the
 // protocol code needs no synchronization -- exactly as under the DES.
-// Message transport is a mutex+condvar MPSC queue per process; an optional
-// jitter makes thread interleavings more adversarial in tests.
+//
+// The message path is engineered around amortization: pay one
+// synchronization per *batch* of deliveries, not per message (see
+// docs/ARCHITECTURE.md, "Threaded backend hot path"):
+//   - Swap-drain mailboxes. Each mailbox is a double-buffered pair of
+//     vectors. The consumer takes the slot lock once, swaps the entire
+//     inbox into its private drain buffer, and dispatches the whole run
+//     lock-free; cleared buffers keep their capacity, so steady-state
+//     delivery performs no heap allocation.
+//   - Lean envelopes. The hot lane moves only {from, msg}; posted closures
+//     (net::PostFn, 128-byte inline buffer) travel in a separate cold lane
+//     swapped under the same single lock acquisition, so protocol traffic
+//     never drags closure storage through the queue.
+//   - Batched accounting. The pending-work counter behind run_quiescent()
+//     and the delivered counter are updated once per batch.
+//   - Cheap wakeups. Producers notify the consumer condvar only on an
+//     empty -> non-empty transition; consumers spin a small adaptive
+//     bounded budget on a lock-free hint before parking, and there is no
+//     idle timeout poll (stop() notifies every sleeper).
 //
 // Beyond raw transport the cluster supports the same experiment surface as
 // sim::World, so the harness can drive either backend through one
 // interface:
 //   - post(at, pid, fn): timed closure steps (a timer thread moves due
-//     closures into the target's mailbox),
+//     closures into the target's cold lane),
 //   - crash(pid) and held channels (hold/release buffers messages exactly
 //     like the proofs' "messages remain in transit" tactic),
 //   - run_quiescent(): blocks until no queued, buffered-timer, or in-flight
@@ -30,12 +47,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -55,6 +72,16 @@ struct ClusterOptions {
   bool account_bytes{true};
   /// Round-trip every message through the binary codec before delivery.
   bool reserialize{false};
+  /// Swap-drain batching (default). When false, every mailbox lock
+  /// acquisition pops a single envelope -- the per-message reference path
+  /// the batching-speedup bench ratio and the delivery-semantics parity
+  /// tests compare against. Semantics are identical either way.
+  bool batched_drain{true};
+  /// Upper bound on the adaptive pre-park spin (iterations of a lock-free
+  /// hint check; 0 parks immediately). The credit grows when work arrives
+  /// while spinning and halves on every futile park, so oversubscribed
+  /// (e.g. single-core) runs decay toward parking directly.
+  std::uint32_t max_spin_iters{256};
 };
 
 class Cluster {
@@ -76,7 +103,8 @@ class Cluster {
   void with_context(ProcessId pid, const std::function<void(net::Context&)>& fn);
 
   /// Drains `pid`'s mailbox on the calling thread until `done()` returns
-  /// true. Returns false on timeout.
+  /// true. Returns false on timeout. Calls for the same passive pid must be
+  /// externally serialized (they resume the slot's private drain buffer).
   bool drive(ProcessId pid, const std::function<bool()>& done,
              std::chrono::milliseconds timeout);
 
@@ -93,16 +121,19 @@ class Cluster {
 
   /// Crash: the process takes no further steps; queued and future messages
   /// to or from it are dropped, as are messages buffered on held channels
-  /// adjacent to it.
+  /// adjacent to it (their buffer storage is freed; the channels stay held).
   void crash(ProcessId pid);
   [[nodiscard]] bool crashed(ProcessId pid) const;
 
   /// Holds a channel: messages sent from -> to are buffered, not delivered.
   void hold(ProcessId from, ProcessId to);
   /// Holds every channel adjacent to `pid` except the unused self-channel.
+  /// One lock acquisition for all 2(n-1) channels.
   void hold_all(ProcessId pid);
   /// Releases a channel; buffered messages are enqueued in FIFO order.
   void release(ProcessId from, ProcessId to);
+  /// Releases every channel adjacent to `pid` under one lock acquisition;
+  /// each channel's backlog is re-injected in FIFO order.
   void release_all(ProcessId pid);
   [[nodiscard]] bool held(ProcessId from, ProcessId to) const;
 
@@ -122,10 +153,12 @@ class Cluster {
  private:
   friend class ClusterContext;
 
-  struct Envelope {
+  /// Hot-lane envelope: what protocol traffic actually moves through the
+  /// mailbox. Posted closures travel in the cold lane (a plain
+  /// net::PostFn vector), so the hot lane never carries closure storage.
+  struct MsgEnvelope {
     ProcessId from{kNoProcess};
     wire::Message msg{};
-    net::PostFn fn{};  ///< non-null: closure step
   };
 
   struct Slot {
@@ -133,14 +166,48 @@ class Cluster {
     bool active{false};
     Rng rng{0};
     std::atomic<bool> crashed{false};
+    /// Step-exclusivity token: held by whichever thread is currently
+    /// running a step of this automaton -- its mailbox thread during a
+    /// batch, or a sender delivering directly into an idle destination.
+    /// acquire/release ordering hands the automaton state between them.
+    std::atomic<bool> stepping{false};
+
+    // --- producer side: guarded by mu ---------------------------------
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Envelope> inbox;
-    /// Per-slot traffic counters, lock-free by ownership: sender-side
-    /// fields are written only by the (unique) thread currently stepping
-    /// this process, delivery-side fields only by its mailbox thread.
-    /// stats() aggregates after quiescence.
+    std::vector<MsgEnvelope> inbox;      ///< hot lane: {from, msg}
+    std::vector<net::PostFn> cold_inbox; ///< cold lane: posted closures
+    /// Consumed prefixes of the inbox lanes; advanced only by the
+    /// per-message (unbatched) consumer, always 0 under swap-drain.
+    std::size_t inbox_head{0};
+    std::size_t cold_head{0};
+    /// Lock-free "work queued" hint the consumer spins on before parking.
+    std::atomic<std::uint32_t> queued_hint{0};
+
+    // --- consumer side: touched only by the owning thread -------------
+    /// Double buffers: swap-drain exchanges them with the inbox lanes
+    /// under one lock acquisition; clearing keeps capacity, so the
+    /// steady state allocates nothing.
+    std::vector<MsgEnvelope> drain;
+    std::vector<net::PostFn> cold_drain;
+    /// Resume positions for incremental consumers (drive()).
+    std::size_t drain_pos{0};
+    std::size_t cold_pos{0};
+    /// Adaptive spin budget (grows on spin hits, halves on futile parks).
+    std::uint32_t spin_credit{0};
+
+    /// Per-slot traffic counters, lock-free by ownership: both sender- and
+    /// delivery-side fields are written only by the thread currently
+    /// holding this slot's stepping token (its mailbox thread during a
+    /// batch, a sender during a direct delivery, a driver inside drive()),
+    /// so the token's acquire/release ordering serializes them. stats()
+    /// aggregates after quiescence.
     net::NetStats local_stats;
+
+    /// Items queued and not yet handed to the consumer (mu held).
+    [[nodiscard]] std::size_t queued_unlocked() const {
+      return (inbox.size() - inbox_head) + (cold_inbox.size() - cold_head);
+    }
   };
 
   struct TimedItem {
@@ -164,24 +231,64 @@ class Cluster {
   }
 
   void route(ProcessId from, ProcessId to, wire::Message msg);
-  /// Appends to `pid`'s mailbox. `counted` says whether this work item was
-  /// already added to pending_ (timer items are counted at post() time so
-  /// quiescence never observes a gap between timer pop and enqueue).
-  void enqueue(ProcessId pid, Envelope env, bool counted);
-  void finish_work_item();
+  /// Appends to `pid`'s hot/cold lane -- unless the destination is an idle
+  /// active process, in which case the work is delivered directly on the
+  /// calling thread (see direct_delivery_). `already_counted` says whether
+  /// this work item was already added to pending_ (timer items are counted
+  /// at post() time so quiescence never observes a gap between timer pop
+  /// and enqueue). Notifies the consumer only on empty -> non-empty.
+  void enqueue_msg(ProcessId pid, MsgEnvelope env, bool already_counted);
+  void enqueue_fn(ProcessId pid, net::PostFn fn, bool already_counted);
+  void finish_work_items(std::int64_t n);
+  /// Spins (with yields) until `slot`'s stepping token is acquired,
+  /// futex-waiting if the holder runs a long step.
+  void acquire_token(Slot& slot);
+  void release_token(Slot& slot);
+  class TokenGuard;  ///< RAII release (exception-safe), defined in the .cpp
+  /// Appends one item to the matching lane of `pid`'s mailbox -- or runs
+  /// it right here when the destination is idle (direct delivery). The
+  /// single definition of the producer-side protocol for both lanes.
+  template <class Item>
+  void enqueue_item(ProcessId pid, Item item, bool already_counted);
+
+  /// Delivers one hot-lane envelope as a step of `pid` (crash checks,
+  /// jitter, optional codec round-trip). Returns true when the message was
+  /// actually delivered (vs. dropped). Does not touch pending_/delivered_.
+  bool deliver_msg(net::Context& ctx, Slot& slot, MsgEnvelope env);
+  /// Runs one cold-lane closure as a step of `pid` (skipped if crashed).
+  void deliver_fn(net::Context& ctx, Slot& slot, net::PostFn fn);
+  /// Swaps both inbox lanes into the drain buffers (mu held by caller).
+  void swap_lanes(Slot& slot);
+  /// Dispatches everything currently in the drain buffers, then updates
+  /// delivered_ and pending_ once.
+  void run_batch(ProcessId pid, Slot& slot);
+
   void thread_main(ProcessId pid);
+  void thread_main_unbatched(ProcessId pid);
   void timer_main();
-  bool pop_one(ProcessId pid, std::chrono::milliseconds wait, Envelope* out);
-  void dispatch(ProcessId pid, Envelope env);
 
   ClusterOptions opts_;
   Rng seeder_;
+  /// The cheapest wakeup is none: when a message's (or due closure's)
+  /// destination is an active process whose stepping token is free, the
+  /// sending thread runs the destination's step directly instead of
+  /// enqueueing and waking its mailbox thread -- zero condvar round trips
+  /// along an idle request-response chain, while busy destinations keep
+  /// genuine concurrency. Off when jitter is on (jitter must sleep on the
+  /// receiving thread) and in the per-message reference mode. Passive
+  /// slots are never targets: their steps must stay on the driving thread
+  /// (drive()'s done() condition reads results without synchronization).
+  bool direct_delivery_{true};
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::thread> threads_;
   std::thread timer_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> delivered_{0};
   bool started_{false};
+  /// True once start() has finished every on_start: direct delivery must
+  /// not run a process's step before its on_start (queued deliveries only
+  /// begin when the mailbox threads spin up, which is also after).
+  std::atomic<bool> running_{false};
   std::chrono::steady_clock::time_point epoch_;
 
   // Timed closures, ordered by (at, seq).
@@ -196,10 +303,13 @@ class Cluster {
   std::condition_variable quiesce_cv_;
 
   // Held channels (cold path: guarded by one mutex; the atomic count keeps
-  // the no-holds fast path lock-free).
+  // the no-holds fast path lock-free). Held *status* lives in held_chans_;
+  // held_buffers_ only carries channels with a backlog, so crash() can free
+  // a discarded buffer outright while the channel stays held.
   mutable std::mutex chan_mu_;
   std::atomic<std::size_t> held_count_{0};
-  std::unordered_map<std::uint64_t, std::vector<Envelope>> held_buffers_;
+  std::unordered_set<std::uint64_t> held_chans_;
+  std::unordered_map<std::uint64_t, std::vector<MsgEnvelope>> held_buffers_;
 
   /// Held-buffer messages discarded by crash(); kept apart from the
   /// per-slot counters because crash() may run on any thread.
