@@ -7,10 +7,15 @@
 //   $ ./sweep_cli --replay safe:des:chaos:42
 //   $ ./sweep_cli --templates=overload --backends=des --seeds=2
 //       (deliberate liveness violations; exercises shrink + replay)
+//   $ ./sweep_cli --scenarios scenarios/              # the scenario library
+//   $ ./sweep_cli --scenario tests/fixtures/scenarios/foo.scn
+//   $ ./sweep_cli --replay safe:des:chaos:42 --emit-scenario foo.scn
+//       (export any cell -- or a shrunk failure -- as a DSL file)
 //
 // Writes BENCH_scenario_sweep.json with per-cell verdicts and, for every
 // failure, the minimal fault schedule plus the --replay flag reproducing it.
-// Exits nonzero when any cell fails.
+// Exits nonzero when any cell fails (scenario cells fail when the verdict
+// differs from their "expect" line).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/scenario_dsl.hpp"
 #include "harness/sweep.hpp"
 #include "harness/table.hpp"
 
@@ -56,16 +62,21 @@ void usage() {
       "failing overload\n   template must be named explicitly)\n"
       "  [--seeds=N] [--base-seed=N] [--t=N] [--b=N] [--readers=N]\n"
       "  [--writes=N] [--reads=N] [--check=safe|regular|atomic] [--jobs=N]\n"
-      "  [--json=PATH] [--replay KEY]\n",
+      "  [--json=PATH] [--replay KEY] [--emit-scenario FILE]\n"
+      "  [--scenarios DIR] [--scenario FILE] [--check]\n"
+      "With --scenarios and no grid flags, only the library runs. --replay\n"
+      "with --emit-scenario writes the cell (shrunk first when it fails on\n"
+      "the DES) as a scenario file instead of just replaying it.\n",
       protocol_list().c_str());
 }
 
-int replay(const harness::SweepEngine& engine, const std::string& key) {
+int replay(const harness::SweepEngine& engine, const std::string& key,
+           const std::string& emit_path) {
   const auto scenario = engine.materialize_key(key);
   if (!scenario) {
     std::fprintf(stderr,
                  "bad cell key '%s' (want protocol:backend:template:seed, "
-                 "e.g. safe:des:chaos:42; overload replays on des only)\n",
+                 "e.g. safe:des:chaos:42, or scn:NAME with --scenarios)\n",
                  key.c_str());
     return 2;
   }
@@ -84,10 +95,17 @@ int replay(const harness::SweepEngine& engine, const std::string& key) {
               verdict.ops_stuck,
               static_cast<unsigned long long>(verdict.events),
               static_cast<unsigned long long>(verdict.fingerprint));
-  if (verdict.ok) return 0;
+  const bool unexpected = verdict.ok != scenario->expect_ok;
+  if (!verdict.ok) {
+    std::printf("failure%s: %s\n", unexpected ? "" : " (expected)",
+                verdict.first_violation.c_str());
+  }
 
-  std::printf("failure: %s\n", verdict.first_violation.c_str());
-  if (scenario->backend == harness::BackendKind::Sim &&
+  harness::Scenario to_emit = *scenario;
+  // Expected failures (committed fixtures) are already minimal; only an
+  // unexpected failure is worth shrinking.
+  if (unexpected && !verdict.ok &&
+      scenario->backend == harness::BackendKind::Sim &&
       !scenario->events.empty()) {
     const auto shrunk = harness::SweepEngine::shrink(*scenario);
     std::printf("minimal failing schedule (%d -> %zu events, %d reruns):\n",
@@ -97,8 +115,34 @@ int replay(const harness::SweepEngine& engine, const std::string& key) {
       std::printf("  - %s\n", ev.describe().c_str());
     }
     std::printf("  failure: %s\n", shrunk.first_violation.c_str());
+    to_emit = shrunk.minimal;
   }
-  return 1;
+  if (!emit_path.empty()) {
+    // A failing cell is exported as a fixture: a file that *passes* the
+    // library run exactly when the failure keeps reproducing.
+    if (!verdict.ok) to_emit.expect_ok = false;
+    if (!harness::save_scenario_file(to_emit, emit_path)) {
+      std::fprintf(stderr, "cannot write %s\n", emit_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", emit_path.c_str());
+  }
+  return unexpected ? 1 : 0;
+}
+
+int replay_file(const std::string& path, const std::string& emit_path) {
+  auto parsed = harness::load_scenario_file(path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error.c_str());
+    return 2;
+  }
+  harness::SweepPlan plan;
+  plan.protocols.clear();
+  plan.templates.clear();
+  plan.backends.clear();
+  plan.library.push_back(parsed.scenario);
+  const harness::SweepEngine engine(std::move(plan));
+  return replay(engine, parsed.scenario.key(), emit_path);
 }
 
 }  // namespace
@@ -107,11 +151,15 @@ int main(int argc, char** argv) {
   harness::SweepPlan plan;
   plan.protocols.clear();
   std::string replay_key;
+  std::string scenario_file;
+  std::string scenarios_dir;
+  std::string emit_path;
   std::string json_path = "BENCH_scenario_sweep.json";
   int jobs = 0;
   bool quick = false;
+  bool check_mode = false;
   bool protocols_given = false, templates_given = false, seeds_given = false;
-  bool writes_given = false, reads_given = false;
+  bool writes_given = false, reads_given = false, grid_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -122,11 +170,27 @@ int main(int argc, char** argv) {
     };
     if (arg == "--quick") {
       quick = true;
+      grid_given = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_key = argv[++i];
     } else if (auto v = value("replay")) {
       replay_key = *v;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      scenario_file = argv[++i];
+    } else if (auto v = value("scenario")) {
+      scenario_file = *v;
+    } else if (arg == "--scenarios" && i + 1 < argc) {
+      scenarios_dir = argv[++i];
+    } else if (auto v = value("scenarios")) {
+      scenarios_dir = *v;
+    } else if (arg == "--emit-scenario" && i + 1 < argc) {
+      emit_path = argv[++i];
+    } else if (auto v = value("emit-scenario")) {
+      emit_path = *v;
+    } else if (arg == "--check") {
+      check_mode = true;
     } else if (auto v = value("protocols")) {
+      grid_given = true;
       protocols_given = true;
       for (const auto& name : split_commas(*v)) {
         if (name == "all") {
@@ -144,6 +208,7 @@ int main(int argc, char** argv) {
         plan.protocols.push_back(*p);
       }
     } else if (auto v = value("backends")) {
+      grid_given = true;
       if (*v == "both") {
         plan.backends = {harness::BackendKind::Sim,
                          harness::BackendKind::Threads};
@@ -156,6 +221,7 @@ int main(int argc, char** argv) {
       }
     } else if (auto v = value("templates")) {
       templates_given = true;
+      grid_given = true;
       plan.templates.clear();
       for (const auto& name : split_commas(*v)) {
         if (name == "default") {
@@ -174,6 +240,7 @@ int main(int argc, char** argv) {
       }
     } else if (auto v = value("seeds")) {
       seeds_given = true;
+      grid_given = true;
       plan.seeds = std::atoi(v->c_str());
     } else if (auto v = value("base-seed")) {
       plan.base_seed = std::strtoull(v->c_str(), nullptr, 10);
@@ -212,7 +279,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (quick) {
+  if (!scenario_file.empty()) return replay_file(scenario_file, emit_path);
+
+  if (!scenarios_dir.empty()) {
+    const auto lib = harness::load_scenario_dir(scenarios_dir);
+    for (const auto& err : lib.errors) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+    }
+    if (!lib.ok()) return 2;
+    if (lib.scenarios.empty()) {
+      std::fprintf(stderr, "no *.scn files in %s\n", scenarios_dir.c_str());
+      return 2;
+    }
+    plan.library = lib.scenarios;
+  }
+
+  // With a scenario library and no grid flags, only the library runs.
+  const bool library_only = !plan.library.empty() && !grid_given;
+  if (library_only) {
+    plan.protocols.clear();
+    plan.templates.clear();
+    plan.backends.clear();
+  } else if (quick) {
     harness::SweepPlan q = harness::SweepPlan::quick();
     if (!protocols_given) plan.protocols = q.protocols;
     if (!templates_given) plan.templates = q.templates;
@@ -224,34 +312,20 @@ int main(int argc, char** argv) {
       plan.protocols.push_back(traits.id);
     }
   }
-  if (plan.protocols.empty() || plan.templates.empty() || plan.seeds < 1) {
+  if (!library_only &&
+      (plan.protocols.empty() || plan.templates.empty() || plan.seeds < 1)) {
     usage();
     return 2;
   }
 
-  bool has_overload = false;
-  for (const auto t : plan.templates) {
-    has_overload = has_overload || t == harness::FaultTemplate::Overload;
-  }
-  if (has_overload) {
-    for (const auto bk : plan.backends) {
-      if (bk != harness::BackendKind::Sim) {
-        std::fprintf(stderr,
-                     "the overload template requires --backends=des (it "
-                     "stalls quorums forever; threads would abort)\n");
-        return 2;
-      }
-    }
-  }
-
   harness::SweepEngine engine(std::move(plan));
-  if (!replay_key.empty()) return replay(engine, replay_key);
+  if (!replay_key.empty()) return replay(engine, replay_key, emit_path);
 
   const auto& p = engine.plan();
   std::printf("sweeping %zu cells: %zu protocol(s) x %zu backend(s) x %zu "
-              "template(s) x %d seed(s)\n",
+              "template(s) x %d seed(s) + %zu scenario file(s)\n",
               p.num_cells(), p.protocols.size(), p.backends.size(),
-              p.templates.size(), p.seeds);
+              p.templates.size(), p.seeds, p.library.size());
   const auto report = engine.run(jobs);
 
   // Aggregate verdicts per protocol x backend for the console summary.
@@ -276,6 +350,14 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+  // Library cells, one line each (their keys don't aggregate into the grid).
+  for (std::size_t i = p.num_grid_cells(); i < report.cells.size(); ++i) {
+    const auto& c = report.cells[i];
+    std::printf("%-40s %s (expect %s)%s%s\n", c.key.c_str(),
+                c.ok ? "OK" : "FAIL", c.expect_ok ? "ok" : "fail",
+                c.ok == c.expect_ok ? "" : "  <-- UNEXPECTED: ",
+                c.ok == c.expect_ok ? "" : c.first_violation.c_str());
+  }
   std::printf("%d/%zu cells failed in %.1f ms on %d workers\n", report.failed,
               report.cells.size(), report.wall_ms, report.workers);
 
@@ -291,10 +373,14 @@ int main(int argc, char** argv) {
     std::printf("  failure: %s\n", shrunk.first_violation.c_str());
   }
 
-  if (!harness::SweepEngine::write_json(report, p, json_path)) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 2;
+  // --check: verdicts only (e.g. the CI scenario-library smoke); don't
+  // clobber the grid's BENCH JSON artifact.
+  if (!check_mode) {
+    if (!harness::SweepEngine::write_json(report, p, json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
-  std::printf("wrote %s\n", json_path.c_str());
   return report.all_ok() ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "adversary/byzantine.hpp"
 
+#include <unordered_map>
 #include <utility>
 
 #include "baselines/abd.hpp"
@@ -25,6 +26,13 @@ bool is_write_message(const wire::Message& m) {
          std::holds_alternative<wire::FwWriteMsg>(m) ||
          std::holds_alternative<wire::AuthWriteMsg>(m) ||
          std::holds_alternative<wire::AbdStoreMsg>(m);
+}
+
+bool is_read_request(const wire::Message& m) {
+  return std::holds_alternative<wire::ReadMsg>(m) ||
+         std::holds_alternative<wire::PollMsg>(m) ||
+         std::holds_alternative<wire::AuthReadMsg>(m) ||
+         std::holds_alternative<wire::AbdQueryMsg>(m);
 }
 
 class ByzantineBase : public net::Process {
@@ -323,6 +331,62 @@ class RandomLiar final : public ByzantineBase {
   }
 };
 
+class StaleReplayer final : public ByzantineBase {
+ public:
+  using ByzantineBase::ByzantineBase;
+
+  void on_message(net::Context& ctx, ProcessId from,
+                  const wire::Message& msg) override {
+    auto honest = run_honest(ctx, from, msg);
+    if (!is_read_request(msg)) {
+      forward(ctx, std::move(honest));  // writes and bookkeeping: honest
+      return;
+    }
+    const auto it = stash_.find(from);
+    if (it == stash_.end()) {
+      // First contact: capture this honest reply verbatim -- it is the
+      // snapshot this peer will be served forever.
+      stash_.emplace(from, honest);
+      forward(ctx, std::move(honest));
+      return;
+    }
+    // Replay the captured old reply, re-stamped onto the current request's
+    // round/seq (a raw replay would be filtered as stale round traffic;
+    // the *payload* -- timestamps, values, histories -- stays old).
+    auto replayed = it->second;
+    for (auto& out : replayed) restamp(out.msg, msg);
+    forward(ctx, std::move(replayed));
+  }
+
+ private:
+  static void restamp(wire::Message& reply, const wire::Message& request) {
+    if (const auto* rd = std::get_if<wire::ReadMsg>(&request)) {
+      if (auto* ack = std::get_if<wire::ReadAckMsg>(&reply)) {
+        ack->round = rd->round;
+        ack->tsr = rd->tsr;
+      } else if (auto* hist = std::get_if<wire::HistReadAckMsg>(&reply)) {
+        hist->round = rd->round;
+        hist->tsr = rd->tsr;
+      }
+    } else if (const auto* poll = std::get_if<wire::PollMsg>(&request)) {
+      if (auto* ack = std::get_if<wire::PollAckMsg>(&reply)) {
+        ack->seq = poll->seq;
+        ack->round = poll->round;
+      }
+    } else if (const auto* au = std::get_if<wire::AuthReadMsg>(&request)) {
+      if (auto* ack = std::get_if<wire::AuthReadAckMsg>(&reply)) {
+        ack->seq = au->seq;
+      }
+    } else if (const auto* ab = std::get_if<wire::AbdQueryMsg>(&request)) {
+      if (auto* ack = std::get_if<wire::AbdQueryAckMsg>(&reply)) {
+        ack->seq = ab->seq;
+      }
+    }
+  }
+
+  std::unordered_map<ProcessId, std::vector<Outgoing>> stash_;
+};
+
 }  // namespace
 
 const char* to_string(StrategyKind k) {
@@ -335,6 +399,7 @@ const char* to_string(StrategyKind k) {
     case StrategyKind::Stagger: return "stagger";
     case StrategyKind::Collude: return "collude";
     case StrategyKind::Random: return "random";
+    case StrategyKind::StaleReplay: return "stalereplay";
   }
   return "?";
 }
@@ -343,7 +408,8 @@ StrategyKind strategy_from_name(const std::string& name) {
   for (const auto k :
        {StrategyKind::Silent, StrategyKind::Amnesiac, StrategyKind::Forger,
         StrategyKind::Accuser, StrategyKind::Equivocator,
-        StrategyKind::Stagger, StrategyKind::Collude, StrategyKind::Random}) {
+        StrategyKind::Stagger, StrategyKind::Collude, StrategyKind::Random,
+        StrategyKind::StaleReplay}) {
     if (name == to_string(k)) return k;
   }
   RR_ASSERT_MSG(false, "unknown Byzantine strategy name");
@@ -373,6 +439,8 @@ std::unique_ptr<net::Process> make_byzantine(StrategyKind kind, Flavor flavor,
       return std::make_unique<Collude>(flavor, topo, res, object_index);
     case StrategyKind::Random:
       return std::make_unique<RandomLiar>(flavor, topo, res, object_index);
+    case StrategyKind::StaleReplay:
+      return std::make_unique<StaleReplayer>(flavor, topo, res, object_index);
   }
   return nullptr;
 }

@@ -22,6 +22,10 @@
 //   collude      all colluders forge the *same* deterministic candidate
 //                (maximizes forged vouch counts: exactly b < b+1).
 //   random       coin-flips between honest behaviour, forging and silence.
+//   stalereplay  answers the first read per peer honestly, captures that
+//                reply (capture.hpp), and re-sends the captured snapshot --
+//                re-stamped onto the current round -- to every later read
+//                from that peer (a replay attack: old truth, fresh framing).
 //
 // Strategies embed a real honest automaton (SafeObject or RegularObject by
 // flavor) and run it through a CapturingContext, so their write-side
@@ -52,6 +56,7 @@ enum class StrategyKind {
   Stagger,
   Collude,
   Random,
+  StaleReplay,
 };
 
 [[nodiscard]] const char* to_string(StrategyKind k);

@@ -67,6 +67,20 @@ class SimBackend final : public Backend {
   void hold_all(ProcessId pid) override { world_->hold_all(pid); }
   void release_all(ProcessId pid) override { world_->release_all(pid); }
 
+  void set_link_faults(const net::LinkFaults& lf) override {
+    world_->set_link_faults(lf);
+  }
+  void set_gray(ProcessId pid, double factor) override {
+    world_->set_gray(pid, factor);
+  }
+  bool set_clock_skew(ProcessId pid, std::int64_t offset) override {
+    world_->set_clock_skew(pid, offset);
+    return true;
+  }
+  [[nodiscard]] int num_processes() const override {
+    return world_->num_processes();
+  }
+
   [[nodiscard]] net::NetStats stats() const override {
     return world_->stats();
   }
@@ -85,7 +99,7 @@ class SimBackend final : public Backend {
 class ThreadBackend final : public Backend {
  public:
   explicit ThreadBackend(const BackendConfig& cfg)
-      : run_timeout_(cfg.run_timeout_ms) {
+      : run_timeout_(cfg.run_timeout_ms), max_wall_ms_(cfg.max_wall_time_ms) {
     runtime::ClusterOptions copts;
     copts.seed = cfg.seed;
     copts.max_jitter_us = cfg.max_jitter_us;
@@ -106,12 +120,26 @@ class ThreadBackend final : public Backend {
     cluster_->post(at, pid, std::move(fn));
   }
   std::uint64_t run() override {
+    // Once a bounded run has given up, the cluster is stopped: later runs
+    // report immediately instead of burning another full deadline.
+    if (timed_out_) return 0;
     const std::uint64_t before = cluster_->messages_delivered();
-    const bool quiesced = cluster_->run_quiescent(
-        std::chrono::milliseconds(run_timeout_));
-    RR_ASSERT_MSG(quiesced,
-                  "thread backend failed to quiesce: livelock or a fault "
-                  "plan exceeding the resilience budget");
+    const std::uint64_t bound = max_wall_ms_ > 0 ? max_wall_ms_ : run_timeout_;
+    const bool quiesced =
+        cluster_->run_quiescent(std::chrono::milliseconds(bound));
+    if (!quiesced) {
+      if (max_wall_ms_ > 0) {
+        // Graceful degradation: stop the threads (joining them makes the
+        // histories and stats safe to read single-threaded) and let the
+        // harness turn this into a liveness-failure verdict.
+        timed_out_ = true;
+        cluster_->stop();
+        return cluster_->messages_delivered() - before;
+      }
+      RR_ASSERT_MSG(quiesced,
+                    "thread backend failed to quiesce: livelock or a fault "
+                    "plan exceeding the resilience budget");
+    }
     return cluster_->messages_delivered() - before;
   }
   [[nodiscard]] Time now() const override { return cluster_->now(); }
@@ -125,6 +153,24 @@ class ThreadBackend final : public Backend {
   }
   void hold_all(ProcessId pid) override { cluster_->hold_all(pid); }
   void release_all(ProcessId pid) override { cluster_->release_all(pid); }
+
+  void set_link_faults(const net::LinkFaults& lf) override {
+    cluster_->set_link_faults(lf);
+  }
+  void set_gray(ProcessId pid, double factor) override {
+    // Threads can't stretch channel delays after the fact, so gray is an
+    // injected per-step delay: (factor - 1) x 20us approximates "answers
+    // everything, factor-of-N late" at this harness's message scale.
+    constexpr double kGrayStepNs = 20'000.0;
+    const std::uint64_t ns =
+        factor > 1.0 ? static_cast<std::uint64_t>((factor - 1.0) * kGrayStepNs)
+                     : 0;
+    cluster_->set_gray(pid, ns);
+  }
+  [[nodiscard]] bool timed_out() const override { return timed_out_; }
+  [[nodiscard]] int num_processes() const override {
+    return cluster_->num_processes();
+  }
 
   [[nodiscard]] net::NetStats stats() const override {
     return cluster_->stats();
@@ -142,6 +188,8 @@ class ThreadBackend final : public Backend {
  private:
   std::unique_ptr<runtime::Cluster> cluster_;
   std::uint64_t run_timeout_;
+  std::uint64_t max_wall_ms_;
+  bool timed_out_{false};
 };
 
 }  // namespace

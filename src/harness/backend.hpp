@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "common/types.hpp"
+#include "net/faults.hpp"
 #include "net/process.hpp"
 #include "net/stats.hpp"
 
@@ -69,6 +70,13 @@ struct BackendConfig {
   /// Threads only: cap on the consumer's adaptive pre-park spin
   /// (iterations; 0 parks immediately).
   std::uint32_t threads_max_spin{256};
+  /// Threads only: bounded run deadline (milliseconds; 0 = disabled). With
+  /// a deadline, a run() that fails to quiesce STOPS the cluster and
+  /// reports through Backend::timed_out() instead of aborting the process
+  /// -- so a sweep cell whose fault plan stalls its quorums (e.g. the
+  /// overload template) degrades to a liveness-failure verdict. Without a
+  /// deadline, non-quiescence stays fatal after run_timeout_ms.
+  std::uint64_t max_wall_time_ms{0};
 };
 
 /// The runtime contract every execution substrate must honor. A new backend
@@ -128,6 +136,32 @@ class Backend {
   virtual void release(ProcessId from, ProcessId to) = 0;
   virtual void hold_all(ProcessId pid) = 0;
   virtual void release_all(ProcessId pid) = 0;
+
+  // Gray-failure library (see net::LinkFaults and docs/SCENARIO_DSL.md).
+  // Both substrates implement link faults and gray processes with shared
+  // NetStats accounting; clock skew is meaningful only under the DES.
+  //   - set_link_faults: seeded per-channel loss / duplication / reorder.
+  //     Call after the last add_process and before start().
+  //   - set_gray(p, factor): p stays correct but slow -- the DES multiplies
+  //     delays on p's channels, the cluster injects (factor-1) x 20us of
+  //     stepping delay. factor <= 1 clears. Callable mid-run via post().
+  //   - set_clock_skew(p, off): p's Context::now() reads shifted by `off`.
+  //     Returns false where unsupported (threads: wall clocks don't lie).
+  virtual void set_link_faults(const net::LinkFaults& lf) = 0;
+  virtual void set_gray(ProcessId pid, double factor) = 0;
+  virtual bool set_clock_skew(ProcessId pid, std::int64_t offset) {
+    (void)pid;
+    (void)offset;
+    return false;
+  }
+
+  /// True when a bounded run (BackendConfig::max_wall_time_ms) gave up
+  /// waiting for quiescence: a liveness failure, not a crash. The backend
+  /// is stopped afterwards, so histories and stats are safe to read.
+  [[nodiscard]] virtual bool timed_out() const { return false; }
+
+  /// Number of registered processes (dense ids 0..n-1).
+  [[nodiscard]] virtual int num_processes() const = 0;
 
   /// Traffic statistics. Byte counts must use wire::encoded_size() (the
   /// shared counting visitor) so cross-backend byte numbers are comparable.

@@ -38,4 +38,29 @@ struct ChaosOptions {
 /// Schedules hold/release waves on `d.backend()`. Call before d.run().
 void inject_chaos(Deployment& d, const ChaosOptions& opts);
 
+/// Flapping channels: a fixed set of objects is periodically isolated
+/// (hold_all) and reconnected (release_all), with seeded jitter on every
+/// edge. Unlike inject_chaos -- which picks random rotating subsets as it
+/// goes -- the whole flap schedule is computed up front from the seed, so a
+/// scenario file replays the exact same edge times and the shrinker can
+/// drop a flap event wholesale.
+struct FlapOptions {
+  std::vector<int> objects;  ///< object indices flapped together
+  /// Times relative to the backend clock at injection time.
+  Time start{0};
+  Time horizon{300'000};  ///< last edge lands before start + horizon
+  Time period{20'000};    ///< one hold + release cycle
+  double duty{0.5};       ///< fraction of each period spent held
+  Time jitter{0};         ///< max forward shift per edge, seeded
+  std::uint64_t seed{1};
+};
+
+/// Schedules the flap edges on `d.backend()`. Call before d.run(). Every
+/// hold is eventually released (a trailing release closes the final cycle),
+/// so runs stay within the model's "messages remain in transit, finitely"
+/// rule as long as the flapped set stays within the budget t. Callers
+/// wanting a deliberate liveness violation may exceed the budget; this
+/// function does not assert.
+void inject_flap(Deployment& d, const FlapOptions& opts);
+
 }  // namespace rr::harness

@@ -62,6 +62,7 @@ void Deployment::build() {
   bcfg.trace_fingerprint = opts_.trace_fingerprint;
   bcfg.max_jitter_us = opts_.thread_jitter_us;
   bcfg.threads_batched_drain = opts_.thread_batched_drain;
+  bcfg.max_wall_time_ms = opts_.thread_max_wall_ms;
   backend_ = make_backend(opts_.backend, bcfg);
 
   const ProtocolTraits& traits = protocol_traits(opts_.protocol);
@@ -122,6 +123,19 @@ void Deployment::build() {
   logs_.reserve(static_cast<std::size_t>(K));
   for (int s = 0; s < K; ++s) {
     logs_.push_back(std::make_unique<checker::HistoryLog>());
+  }
+
+  // Gray-failure library: install link faults (rewriting object-index
+  // scopes to physical pids) and clock skew before the backend starts.
+  if (opts_.link_faults.any()) {
+    net::LinkFaults lf = opts_.link_faults;
+    for (auto* rule : {&lf.loss, &lf.duplicate, &lf.reorder}) {
+      for (auto& pid : rule->pids) pid = layout_.object(static_cast<int>(pid));
+    }
+    backend_->set_link_faults(lf);
+  }
+  for (const auto& [obj, offset] : opts_.clock_skew) {
+    backend_->set_clock_skew(layout_.object(obj), offset);
   }
 
   backend_->start();

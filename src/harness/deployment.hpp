@@ -82,6 +82,17 @@ struct DeploymentOptions {
   /// slots (0 = unlimited, the paper's presentation). Only meaningful for
   /// the Regular / RegularOptimized protocols.
   std::size_t history_limit{0};
+  /// Seeded per-channel link faults (loss / duplication / reorder). The
+  /// rules' pid scopes are OBJECT indices here; build() rewrites them to
+  /// physical pids via the layout before installing on the backend.
+  net::LinkFaults link_faults{};
+  /// Per-object local-clock offsets (object index -> signed ns). DES only;
+  /// silently ignored on threads (wall clocks don't lie).
+  std::map<int, std::int64_t> clock_skew{};
+  /// Threads backend: bounded run deadline (ms; 0 = disabled). See
+  /// BackendConfig::max_wall_time_ms -- a stalled run reports through
+  /// Backend::timed_out() instead of aborting.
+  std::uint64_t thread_max_wall_ms{0};
 };
 
 class Deployment {

@@ -1,5 +1,6 @@
 #include "harness/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -9,6 +10,7 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "harness/chaos.hpp"
 #include "harness/deployment.hpp"
 #include "harness/workload.hpp"
 #include "sim/world.hpp"
@@ -171,7 +173,13 @@ const std::vector<FaultTemplate>& default_fault_templates() {
 }
 
 std::string FaultEvent::describe() const {
-  char buf[96];
+  char buf[160];
+  const auto ull = [](Time t) { return static_cast<unsigned long long>(t); };
+  std::string objs;
+  for (const int o : held) {
+    if (!objs.empty()) objs += ",";
+    objs += std::to_string(o);
+  }
   switch (kind) {
     case Kind::Byzantine:
       std::snprintf(buf, sizeof(buf), "byzantine object %d (%s)", object,
@@ -179,24 +187,60 @@ std::string FaultEvent::describe() const {
       return buf;
     case Kind::Crash:
       std::snprintf(buf, sizeof(buf), "crash object %d at t=%llu", object,
-                    static_cast<unsigned long long>(at));
+                    ull(at));
       return buf;
-    case Kind::Hold: {
-      std::string objs;
-      for (const int o : held) {
-        if (!objs.empty()) objs += ",";
-        objs += std::to_string(o);
-      }
+    case Kind::Hold:
       std::snprintf(buf, sizeof(buf), "hold objects {%s} during [%llu, %llu)",
-                    objs.c_str(), static_cast<unsigned long long>(at),
-                    static_cast<unsigned long long>(at + duration));
+                    objs.c_str(), ull(at), ull(at + duration));
       return buf;
-    }
+    case Kind::PartitionIn:
+      std::snprintf(buf, sizeof(buf),
+                    "partition inbound channels of {%s} during [%llu, %llu)",
+                    objs.c_str(), ull(at), ull(at + duration));
+      return buf;
+    case Kind::PartitionOut:
+      std::snprintf(buf, sizeof(buf),
+                    "partition outbound channels of {%s} during [%llu, %llu)",
+                    objs.c_str(), ull(at), ull(at + duration));
+      return buf;
+    case Kind::Flap:
+      std::snprintf(buf, sizeof(buf),
+                    "flap objects {%s} period=%llu duty=%.2f jitter=%llu "
+                    "during [%llu, %llu)",
+                    objs.c_str(), ull(period), rate, ull(jitter), ull(at),
+                    ull(at + duration));
+      return buf;
+    case Kind::Gray:
+      std::snprintf(buf, sizeof(buf),
+                    "gray object %d (%.2fx slower) during [%llu, %llu)",
+                    object, rate, ull(at), ull(at + duration));
+      return buf;
+    case Kind::Skew:
+      std::snprintf(buf, sizeof(buf), "clock skew object %d offset=%lld",
+                    object, static_cast<long long>(skew));
+      return buf;
+    case Kind::Loss:
+      std::snprintf(buf, sizeof(buf),
+                    "lose messages p=%.3f scope={%s} from t=%llu", rate,
+                    objs.empty() ? "all" : objs.c_str(), ull(at));
+      return buf;
+    case Kind::Duplicate:
+      std::snprintf(buf, sizeof(buf),
+                    "duplicate messages p=%.3f scope={%s} from t=%llu", rate,
+                    objs.empty() ? "all" : objs.c_str(), ull(at));
+      return buf;
+    case Kind::Reorder:
+      std::snprintf(buf, sizeof(buf),
+                    "reorder messages p=%.3f (+%llu) scope={%s} from t=%llu",
+                    rate, ull(period), objs.empty() ? "all" : objs.c_str(),
+                    ull(at));
+      return buf;
   }
   return "?";
 }
 
 std::string Scenario::key() const {
+  if (!name.empty()) return "scn:" + name;
   return std::string(protocol_traits(protocol).cli_name) + ":" +
          harness::to_string(backend) + ":" + harness::to_string(tmpl) + ":" +
          std::to_string(seed);
@@ -214,14 +258,19 @@ SweepPlan SweepPlan::quick() {
 }
 
 SweepEngine::SweepEngine(SweepPlan plan) : plan_(std::move(plan)) {
-  RR_ASSERT(!plan_.protocols.empty());
-  RR_ASSERT(!plan_.backends.empty());
-  RR_ASSERT(!plan_.templates.empty());
-  RR_ASSERT(plan_.seeds >= 1);
+  // A plan may be library-only (no grid axes at all), but never empty.
+  if (plan_.num_grid_cells() > 0 || plan_.library.empty()) {
+    RR_ASSERT(!plan_.protocols.empty());
+    RR_ASSERT(!plan_.backends.empty());
+    RR_ASSERT(!plan_.templates.empty());
+    RR_ASSERT(plan_.seeds >= 1);
+  }
 }
 
 Scenario SweepEngine::materialize(std::size_t index) const {
   RR_ASSERT(index < plan_.num_cells());
+  const std::size_t grid = plan_.num_grid_cells();
+  if (index >= grid) return plan_.library[index - grid];
   const std::size_t seeds = static_cast<std::size_t>(plan_.seeds);
   const std::size_t si = index % seeds;
   const std::size_t ti = (index / seeds) % plan_.templates.size();
@@ -236,9 +285,6 @@ Scenario SweepEngine::materialize(std::size_t index) const {
 Scenario SweepEngine::materialize(Protocol p, BackendKind backend,
                                   FaultTemplate tmpl,
                                   std::uint64_t seed) const {
-  RR_ASSERT_MSG(tmpl != FaultTemplate::Overload || backend == BackendKind::Sim,
-                "the overload template stalls quorums forever; only the DES "
-                "runs it without aborting");
   Scenario s;
   s.protocol = p;
   s.backend = backend;
@@ -248,6 +294,14 @@ Scenario SweepEngine::materialize(Protocol p, BackendKind backend,
   s.b = plan_.b;
   s.readers = plan_.readers;
   s.check_override = plan_.check_override;
+  // Pin the deployment seed the legacy rule derives from the coordinates,
+  // so an emitted scenario file replays bit-identically to its grid twin.
+  s.run_seed = fold(cell_seed(p, backend, tmpl, seed), 0x5eedull);
+  // Overload stalls quorums forever; under real threads a bounded deadline
+  // turns that into a liveness verdict instead of a process abort.
+  if (tmpl == FaultTemplate::Overload && backend == BackendKind::Threads) {
+    s.max_wall_ms = 10'000;
+  }
 
   Rng rng(cell_seed(p, backend, tmpl, seed));
   const auto& traits = protocol_traits(p);
@@ -339,6 +393,13 @@ Scenario SweepEngine::materialize(Protocol p, BackendKind backend,
 
 std::optional<Scenario> SweepEngine::materialize_key(
     std::string_view key) const {
+  if (key.rfind("scn:", 0) == 0) {
+    const auto name = key.substr(4);
+    for (const auto& sc : plan_.library) {
+      if (sc.name == name) return sc;
+    }
+    return std::nullopt;
+  }
   std::vector<std::string> parts;
   std::size_t start = 0;
   for (;;) {
@@ -355,9 +416,6 @@ std::optional<Scenario> SweepEngine::materialize_key(
   char* end = nullptr;
   const std::uint64_t seed = std::strtoull(parts[3].c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return std::nullopt;
-  if (*tmpl == FaultTemplate::Overload && *backend != BackendKind::Sim) {
-    return std::nullopt;
-  }
   return materialize(*protocol, *backend, *tmpl, seed);
 }
 
@@ -368,12 +426,48 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
   opts.backend = s.backend;
   opts.res = traits.resilience_for(s.t, s.b, s.readers);
   opts.shards = s.shards;
-  opts.seed = fold(cell_seed(s.protocol, s.backend, s.tmpl, s.seed),
-                   0x5eedull);
+  // run_seed == 0 falls back to the legacy coordinate-derived rule, which
+  // materialize() also pins explicitly -- either path yields the same seed
+  // for a grid cell, so fingerprints are stable across both spellings.
+  opts.seed = s.run_seed != 0
+                  ? s.run_seed
+                  : fold(cell_seed(s.protocol, s.backend, s.tmpl, s.seed),
+                         0x5eedull);
   opts.trace_fingerprint = s.backend == BackendKind::Sim;
+  opts.thread_max_wall_ms = s.max_wall_ms;
+  opts.link_faults.seed = fold(opts.seed, 0x11f5ULL);
   for (const auto& ev : s.events) {
-    if (ev.kind == FaultEvent::Kind::Byzantine) {
-      opts.faults.byzantine[ev.object] = ev.strategy;
+    switch (ev.kind) {
+      case FaultEvent::Kind::Byzantine:
+        opts.faults.byzantine[ev.object] = ev.strategy;
+        break;
+      case FaultEvent::Kind::Skew:
+        opts.clock_skew[ev.object] = ev.skew;
+        break;
+      case FaultEvent::Kind::Loss:
+      case FaultEvent::Kind::Duplicate:
+      case FaultEvent::Kind::Reorder: {
+        net::LinkFaultRule rule;
+        rule.p = ev.rate;
+        rule.from = ev.at;
+        rule.until = ev.duration > 0 ? ev.at + ev.duration : 0;
+        rule.pids.reserve(ev.held.size());
+        // Object indices here; Deployment::build() rewrites them to pids.
+        for (const int o : ev.held) {
+          rule.pids.push_back(static_cast<ProcessId>(o));
+        }
+        if (ev.kind == FaultEvent::Kind::Loss) {
+          opts.link_faults.loss = std::move(rule);
+        } else if (ev.kind == FaultEvent::Kind::Duplicate) {
+          opts.link_faults.duplicate = std::move(rule);
+        } else {
+          opts.link_faults.reorder = std::move(rule);
+          if (ev.period > 0) opts.link_faults.reorder_delay = ev.period;
+        }
+        break;
+      }
+      default:
+        break;  // scheduled after construction below
     }
   }
 
@@ -383,6 +477,10 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
   for (const auto& ev : s.events) {
     switch (ev.kind) {
       case FaultEvent::Kind::Byzantine:
+      case FaultEvent::Kind::Skew:
+      case FaultEvent::Kind::Loss:
+      case FaultEvent::Kind::Duplicate:
+      case FaultEvent::Kind::Reorder:
         break;  // applied at construction
       case FaultEvent::Kind::Crash: {
         const ProcessId pid = d.object_pid(ev.object);
@@ -407,6 +505,67 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
                      });
         break;
       }
+      case FaultEvent::Kind::PartitionIn:
+      case FaultEvent::Kind::PartitionOut: {
+        // Asymmetric partition: hold only one direction of every channel
+        // adjacent to the named objects, then release at window end.
+        std::vector<ProcessId> pids;
+        pids.reserve(ev.held.size());
+        for (const int o : ev.held) pids.push_back(d.object_pid(o));
+        const bool inbound = ev.kind == FaultEvent::Kind::PartitionIn;
+        const int n = backend.num_processes();
+        const auto each = [pids, inbound, n](auto&& f) {
+          for (const ProcessId p : pids) {
+            for (ProcessId q = 0; q < n; ++q) {
+              if (q == p) continue;
+              if (inbound) {
+                f(q, p);
+              } else {
+                f(p, q);
+              }
+            }
+          }
+        };
+        backend.post(ev.at, d.writer_pid(), [&backend, each](net::Context&) {
+          each([&backend](ProcessId a, ProcessId b) { backend.hold(a, b); });
+        });
+        backend.post(ev.at + ev.duration, d.writer_pid(),
+                     [&backend, each](net::Context&) {
+                       each([&backend](ProcessId a, ProcessId b) {
+                         backend.release(a, b);
+                       });
+                     });
+        break;
+      }
+      case FaultEvent::Kind::Flap: {
+        FlapOptions fo;
+        fo.objects = ev.held;
+        fo.start = ev.at;
+        fo.horizon = ev.duration > 0 ? ev.duration : 300'000;
+        fo.period = ev.period > 0 ? ev.period : 20'000;
+        fo.duty = ev.rate > 0 ? ev.rate : 0.5;
+        fo.jitter = ev.jitter;
+        // Seeded from the deployment seed plus the event's own shape, so
+        // two flap events in one scenario draw distinct jitter streams.
+        fo.seed = fold(fold(opts.seed, ev.at), ev.period);
+        inject_flap(d, fo);
+        break;
+      }
+      case FaultEvent::Kind::Gray: {
+        const ProcessId pid = d.object_pid(ev.object);
+        const double factor = ev.rate;
+        backend.post(ev.at, d.writer_pid(),
+                     [&backend, pid, factor](net::Context&) {
+                       backend.set_gray(pid, factor);
+                     });
+        if (ev.duration > 0) {
+          backend.post(ev.at + ev.duration, d.writer_pid(),
+                       [&backend, pid](net::Context&) {
+                         backend.set_gray(pid, 1.0);
+                       });
+        }
+        break;
+      }
     }
   }
 
@@ -425,6 +584,7 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
   v.backend = s.backend;
   v.tmpl = s.tmpl;
   v.seed = s.seed;
+  v.expect_ok = s.expect_ok;
   v.events = events;
   v.net = d.stats();
   v.write_p95 = d.write_latency().p95();
@@ -456,10 +616,17 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
       history_fp = fold_bytes(history_fp, op.value);
     }
   }
-  v.ok = report.ok() && v.ops_stuck == 0;
-  if (v.first_violation.empty() && v.ops_stuck > 0) {
-    v.first_violation = "liveness: " + std::to_string(v.ops_stuck) +
-                        " operation(s) never completed";
+  v.ok = report.ok() && v.ops_stuck == 0 && !backend.timed_out();
+  if (v.first_violation.empty() && !v.ok) {
+    if (backend.timed_out()) {
+      v.first_violation = "liveness: run exceeded the " +
+                          std::to_string(s.max_wall_ms) +
+                          " ms deadline with " + std::to_string(v.ops_stuck) +
+                          " operation(s) incomplete";
+    } else if (v.ops_stuck > 0) {
+      v.first_violation = "liveness: " + std::to_string(v.ops_stuck) +
+                          " operation(s) never completed";
+    }
   }
 
   if (s.backend == BackendKind::Sim) {
@@ -488,31 +655,86 @@ ShrinkResult SweepEngine::shrink(const Scenario& s) {
     return !v.ok;
   };
 
-  Scenario current = s;
+  const auto with_events = [&s](std::vector<FaultEvent> evs) {
+    Scenario c = s;
+    c.events = std::move(evs);
+    return c;
+  };
+
   std::string violation;
-  const bool failing = rerun_fails(current, &violation);
+  const bool failing = rerun_fails(s, &violation);
   RR_ASSERT_MSG(failing, "shrink() requires a failing scenario");
 
-  // Greedy: drop one fault event at a time; keep any drop that preserves
-  // the failure; restart until no single drop does. The fixpoint is minimal
-  // by construction -- removing any remaining event makes the run pass.
-  bool progress = true;
-  while (progress && !current.events.empty()) {
-    progress = false;
-    for (std::size_t i = 0; i < current.events.size(); ++i) {
-      Scenario candidate = current;
-      candidate.events.erase(candidate.events.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-      std::string cand_violation;
-      if (rerun_fails(candidate, &cand_violation)) {
-        current = std::move(candidate);
-        violation = std::move(cand_violation);
-        progress = true;
-        break;
-      }
+  // The failure may not depend on the fault plan at all (e.g. a semantics
+  // override stricter than the protocol's promise): probe the empty
+  // schedule first. This is also ddmin's base case.
+  if (!s.events.empty()) {
+    std::string empty_violation;
+    if (rerun_fails(with_events({}), &empty_violation)) {
+      result.minimal = with_events({});
+      result.first_violation = std::move(empty_violation);
+      return result;
     }
   }
-  result.minimal = std::move(current);
+
+  // ddmin (Zeller & Hildebrandt): split the event list into n chunks; keep
+  // any chunk (then any chunk complement) that still fails; refine the
+  // granularity when neither helps. Terminates 1-minimal: at chunk size 1
+  // the complement probes are exactly the drop-one tests, so when none of
+  // them fails, removing any single remaining event makes the run pass.
+  // Worst case O(events^2) reruns like the old greedy loop, but typically
+  // O(events log events) -- large droppable noise goes in chunks, not one
+  // event per rerun.
+  std::vector<FaultEvent> events = s.events;
+  std::size_t n = 2;
+  while (events.size() >= 2) {
+    const std::size_t chunk = (events.size() + n - 1) / n;
+    bool reduced = false;
+    std::string cand_violation;
+    // Try each chunk alone.
+    for (std::size_t i = 0; i * chunk < events.size() && !reduced; ++i) {
+      const std::size_t lo = i * chunk;
+      const std::size_t hi = std::min(lo + chunk, events.size());
+      if (hi - lo == events.size()) continue;
+      std::vector<FaultEvent> subset(
+          events.begin() + static_cast<std::ptrdiff_t>(lo),
+          events.begin() + static_cast<std::ptrdiff_t>(hi));
+      if (rerun_fails(with_events(subset), &cand_violation)) {
+        events = std::move(subset);
+        violation = std::move(cand_violation);
+        n = 2;
+        reduced = true;
+      }
+    }
+    // Try each chunk's complement (redundant with the subsets at n == 2).
+    if (!reduced && n > 2) {
+      for (std::size_t i = 0; i * chunk < events.size() && !reduced; ++i) {
+        const std::size_t lo = i * chunk;
+        const std::size_t hi = std::min(lo + chunk, events.size());
+        std::vector<FaultEvent> complement;
+        complement.reserve(events.size() - (hi - lo));
+        complement.insert(complement.end(), events.begin(),
+                          events.begin() + static_cast<std::ptrdiff_t>(lo));
+        complement.insert(complement.end(),
+                          events.begin() + static_cast<std::ptrdiff_t>(hi),
+                          events.end());
+        if (complement.empty() || complement.size() == events.size()) {
+          continue;
+        }
+        if (rerun_fails(with_events(complement), &cand_violation)) {
+          events = std::move(complement);
+          violation = std::move(cand_violation);
+          n = std::max<std::size_t>(n - 1, 2);
+          reduced = true;
+        }
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // granularity 1 and nothing helps: 1-minimal
+      n = std::min(n * 2, events.size());
+    }
+  }
+  result.minimal = with_events(std::move(events));
   result.first_violation = std::move(violation);
   return result;
 }
@@ -550,13 +772,16 @@ SweepReport SweepEngine::run(int workers) const {
   for (auto& th : pool) th.join();
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (!report.cells[i].ok) ++report.failed;
+    if (report.cells[i].ok != report.cells[i].expect_ok) ++report.failed;
   }
-  // Shrink the first few failing DES cells (serially: shrinking re-runs the
-  // cell O(events^2) times, and failures should be rare).
+  // Shrink the first few unexpectedly-failing DES cells (serially:
+  // shrinking re-runs the cell many times, and failures should be rare).
+  // Expected failures (library fixtures) are regression anchors, already
+  // minimal; shrinking them again would be wasted work.
   int shrunk = 0;
   for (std::size_t i = 0; i < n && shrunk < plan_.max_shrinks; ++i) {
-    if (report.cells[i].ok || report.cells[i].backend != BackendKind::Sim) {
+    if (report.cells[i].ok || !report.cells[i].expect_ok ||
+        report.cells[i].backend != BackendKind::Sim) {
       continue;
     }
     report.shrinks.push_back(shrink(materialize(i)));
@@ -605,11 +830,13 @@ bool SweepEngine::write_json(const SweepReport& report, const SweepPlan& plan,
     const auto& c = report.cells[i];
     std::fprintf(
         out,
-        "    {\"key\": \"%s\", \"ok\": %s, \"violations\": %d, "
+        "    {\"key\": \"%s\", \"ok\": %s, \"expect_ok\": %s, "
+        "\"violations\": %d, "
         "\"ops\": %d, \"stuck\": %d, \"events\": %llu, \"msgs\": %llu, "
         "\"bytes\": %llu, \"write_p95\": %llu, \"read_p95\": %llu, "
         "\"fingerprint\": \"%016llx\", \"wall_ms\": %.3f}%s\n",
-        c.key.c_str(), c.ok ? "true" : "false", c.violations, c.ops_complete,
+        c.key.c_str(), c.ok ? "true" : "false",
+        c.expect_ok ? "true" : "false", c.violations, c.ops_complete,
         c.ops_stuck, static_cast<unsigned long long>(c.events),
         static_cast<unsigned long long>(c.net.messages_sent),
         static_cast<unsigned long long>(c.net.bytes_sent),
@@ -622,7 +849,7 @@ bool SweepEngine::write_json(const SweepReport& report, const SweepPlan& plan,
   std::size_t emitted = 0;
   const std::size_t failures = static_cast<std::size_t>(report.failed);
   for (const auto& c : report.cells) {
-    if (c.ok) continue;
+    if (c.ok == c.expect_ok) continue;
     const ShrinkResult* shrink = nullptr;
     for (const auto& sr : report.shrinks) {
       if (sr.key == c.key) shrink = &sr;

@@ -18,18 +18,27 @@
 // identically (same fingerprint); threads cells replay the same schedule
 // under genuine wall-clock nondeterminism.
 //
-// When a cell fails, the engine re-runs it under a greedy fault-plan
-// shrinker: drop one fault event at a time, keep the candidate whenever the
-// failure persists, repeat until no single drop preserves the failure. The
-// result is a minimal failing schedule (removing any remaining event makes
-// the failure disappear) small enough to read, plus the seed to replay it.
+// When a cell fails, the engine re-runs it under a ddmin fault-plan
+// shrinker (Zeller's delta debugging over the event list: try chunks, then
+// chunk complements, refine granularity until 1-minimal). The result is a
+// minimal failing schedule (removing any single remaining event makes the
+// failure disappear) small enough to read, plus the seed to replay it.
+//
+// Beyond the grid, a plan carries a *library* of explicit Scenarios --
+// typically parsed from scenario files (src/harness/scenario_dsl.hpp,
+// docs/SCENARIO_DSL.md) -- that run as first-class cells after the grid.
+// Library cells are keyed "scn:<name>" and carry an expected verdict
+// (`expect_ok`), so a committed shrinker-emitted failure file counts as
+// *passing* when it still fails the same way.
 //
 // The "overload" template deliberately exceeds the crash budget (t+1 timed
 // crashes plus droppable hold-wave noise), so quorums become permanently
 // unreachable and reads stall: a guaranteed liveness failure that exercises
 // the failure-detection + shrinking + replay pipeline end-to-end. It is
-// excluded from default_fault_templates() -- CI sweeps must be all green --
-// and is DES-only (the threads backend aborts on non-quiescence).
+// excluded from default_fault_templates() -- CI sweeps must be all green.
+// On the threads backend the engine gives such cells a bounded wall-clock
+// deadline (BackendConfig::max_wall_time_ms) so they degrade to a liveness
+// verdict instead of aborting the process.
 #pragma once
 
 #include <cstdint>
@@ -65,22 +74,43 @@ enum class FaultTemplate {
 [[nodiscard]] const std::vector<FaultTemplate>& default_fault_templates();
 
 /// One discrete, independently droppable fault of a materialized schedule.
-/// The shrinker works at this granularity.
+/// The shrinker works at this granularity. The gray-failure kinds (from
+/// PartitionIn down) are never drawn by the grid templates -- they enter
+/// scenarios through the DSL (docs/SCENARIO_DSL.md) -- so legacy cell
+/// schedules stay bit-identical.
 struct FaultEvent {
   enum class Kind {
     Byzantine,  ///< impostor object from construction time
     Crash,      ///< object crashes at `at`
     Hold,       ///< channels of `held` objects held during [at, at+duration)
+    PartitionIn,   ///< only channels *into* `held` objects are held
+    PartitionOut,  ///< only channels *out of* `held` objects are held
+    Flap,       ///< `held` objects flap: period `period`, duty `rate`,
+                ///< seeded edge jitter `jitter`, during [at, at+duration)
+    Gray,       ///< object slow-but-alive by factor `rate` during the window
+    Skew,       ///< object's local clock shifted by `skew` (DES only)
+    Loss,       ///< seeded message loss, probability `rate` (scope `held`)
+    Duplicate,  ///< seeded message duplication, probability `rate`
+    Reorder,    ///< seeded reordering: +`period` delay with probability
+                ///< `rate`
   };
 
   Kind kind{Kind::Crash};
-  int object{0};  ///< Byzantine/Crash: object index
+  int object{0};  ///< Byzantine/Crash/Gray/Skew: object index
   adversary::StrategyKind strategy{adversary::StrategyKind::Silent};
-  Time at{0};        ///< Crash: crash time; Hold: wave start
-  Time duration{0};  ///< Hold: released at `at + duration`
-  std::vector<int> held;  ///< Hold: object indices isolated by the wave
+  Time at{0};        ///< Crash: crash time; windowed kinds: window start
+  Time duration{0};  ///< window length (0 = open-ended where legal)
+  /// Hold/Partition*/Flap: object indices isolated together.
+  /// Loss/Duplicate/Reorder: scope -- only channels adjacent to one of
+  /// these objects are faulty (empty = every channel).
+  std::vector<int> held;
+  double rate{0};      ///< Loss/Duplicate/Reorder p; Gray factor; Flap duty
+  Time period{0};      ///< Flap cycle length; Reorder extra delay
+  Time jitter{0};      ///< Flap: max seeded forward shift per edge
+  std::int64_t skew{0};  ///< Skew: signed clock offset
 
   [[nodiscard]] std::string describe() const;
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
 /// A fully materialized sweep cell: everything needed to run it, and
@@ -107,8 +137,24 @@ struct Scenario {
 
   std::vector<FaultEvent> events;
 
-  /// Canonical cell address: "protocol:backend:template:seed".
+  /// Library scenarios (parsed from .scn files) carry a name; their cell
+  /// key becomes "scn:<name>" instead of the grid coordinates.
+  std::string name;
+  /// The verdict this scenario is expected to produce. Committed shrinker
+  /// fixtures set false: the cell *passes* when the failure reproduces.
+  bool expect_ok{true};
+  /// Threads cells: bounded run deadline in wall-clock ms (0 = none). With
+  /// a deadline, non-quiescence becomes a liveness verdict, not an abort.
+  std::uint64_t max_wall_ms{0};
+  /// The deployment RNG seed. 0 = derive from the cell coordinates (the
+  /// legacy rule); materialize() pins the derived value so an emitted
+  /// scenario file replays bit-identically to its grid twin.
+  std::uint64_t run_seed{0};
+
+  /// Canonical cell address: "protocol:backend:template:seed", or
+  /// "scn:<name>" when named.
   [[nodiscard]] std::string key() const;
+  friend bool operator==(const Scenario&, const Scenario&) = default;
 };
 
 /// Per-cell outcome. A cell is OK iff the history checker passes AND every
@@ -121,6 +167,9 @@ struct CellVerdict {
   std::uint64_t seed{1};
 
   bool ok{false};
+  /// The scenario's expected verdict; a cell counts as failed when
+  /// ok != expect_ok (grid cells always expect true).
+  bool expect_ok{true};
   int violations{0};
   std::string first_violation;  ///< empty when the checker passed
   int ops_complete{0};
@@ -157,8 +206,18 @@ struct SweepPlan {
   /// Failing DES cells shrunk per run (threads failures are reported
   /// unshrunk: their schedules do not replay deterministically).
   int max_shrinks{4};
+  /// Explicit scenarios (e.g. a scenarios/ directory parsed through the
+  /// DSL) run as cells after the grid, honoring each one's own budget,
+  /// workload, events and expected verdict.
+  std::vector<Scenario> library;
 
   [[nodiscard]] std::size_t num_cells() const {
+    return protocols.size() * backends.size() * templates.size() *
+               static_cast<std::size_t>(seeds) +
+           library.size();
+  }
+  /// Grid cells only (num_cells() minus the library).
+  [[nodiscard]] std::size_t num_grid_cells() const {
     return protocols.size() * backends.size() * templates.size() *
            static_cast<std::size_t>(seeds);
   }
@@ -168,7 +227,7 @@ struct SweepPlan {
   [[nodiscard]] static SweepPlan quick();
 };
 
-/// Outcome of greedily shrinking one failing cell.
+/// Outcome of ddmin-shrinking one failing cell.
 struct ShrinkResult {
   std::string key;          ///< the failing cell's address
   std::uint64_t seed{0};
@@ -194,23 +253,25 @@ class SweepEngine {
 
   [[nodiscard]] const SweepPlan& plan() const { return plan_; }
 
-  /// Materializes cell `index` of the grid (seed-major within template
-  /// within backend within protocol).
+  /// Materializes cell `index`: grid cells first (seed-major within
+  /// template within backend within protocol), then the plan's library
+  /// scenarios verbatim.
   [[nodiscard]] Scenario materialize(std::size_t index) const;
   /// Materializes the cell at explicit grid coordinates.
   [[nodiscard]] Scenario materialize(Protocol p, BackendKind backend,
                                      FaultTemplate tmpl,
                                      std::uint64_t seed) const;
   /// Parses a canonical cell key and materializes it (plan knobs apply;
-  /// the key's coordinates need not lie on the plan's grid axes).
+  /// the key's coordinates need not lie on the plan's grid axes). A
+  /// "scn:<name>" key resolves against the plan's library.
   [[nodiscard]] std::optional<Scenario> materialize_key(
       std::string_view key) const;
 
   /// Runs one scenario to completion in the calling thread.
   [[nodiscard]] static CellVerdict run_cell(const Scenario& s);
 
-  /// Greedy fault-plan shrinker. Requires run_cell(s) to fail; returns the
-  /// minimal failing schedule (dropping any single remaining event makes
+  /// ddmin fault-plan shrinker. Requires run_cell(s) to fail; returns a
+  /// 1-minimal failing schedule (dropping any single remaining event makes
   /// the failure disappear).
   [[nodiscard]] static ShrinkResult shrink(const Scenario& s);
 

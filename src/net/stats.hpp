@@ -19,6 +19,14 @@ struct NetStats {
   std::uint64_t messages_delivered{0};
   std::uint64_t messages_dropped{0};  ///< sent to crashed processes
   std::uint64_t bytes_sent{0};
+  // Link-fault perturbations (net::LinkFaults); zero unless a scenario
+  // installs a rule. Counted identically by both backends: a lost message
+  // was counted as sent but never delivered; a duplicated one delivers one
+  // extra copy (so delivered may exceed sent); a reordered one is delivered
+  // late but exactly once.
+  std::uint64_t messages_lost{0};
+  std::uint64_t messages_duplicated{0};
+  std::uint64_t messages_reordered{0};
   std::array<std::uint64_t, kNumTypes> messages_by_type{};
   std::array<std::uint64_t, kNumTypes> bytes_by_type{};
 };

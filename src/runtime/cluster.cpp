@@ -74,6 +74,20 @@ ProcessId Cluster::add(std::unique_ptr<net::Process> p, bool active) {
   return static_cast<ProcessId>(slots_.size() - 1);
 }
 
+void Cluster::set_link_faults(const net::LinkFaults& lf) {
+  RR_ASSERT(!started_);
+  link_faults_ = lf;
+  link_enabled_ = lf.any();
+  Rng seeder(mix64(lf.seed ^ 0x11fa'0175'0001ULL));
+  for (auto& slot : slots_) slot->link_rng = seeder.fork();
+}
+
+void Cluster::set_gray(ProcessId pid, std::uint64_t step_delay_ns) {
+  RR_ASSERT(pid >= 0 && pid < static_cast<ProcessId>(slots_.size()));
+  slots_[static_cast<std::size_t>(pid)]->gray_ns.store(
+      step_delay_ns, std::memory_order_relaxed);
+}
+
 void Cluster::start() {
   RR_ASSERT(!started_);
   started_ = true;
@@ -232,6 +246,9 @@ net::NetStats Cluster::stats() const {
     total.messages_delivered += s.messages_delivered;
     total.messages_dropped += s.messages_dropped;
     total.bytes_sent += s.bytes_sent;
+    total.messages_lost += s.messages_lost;
+    total.messages_duplicated += s.messages_duplicated;
+    total.messages_reordered += s.messages_reordered;
     for (std::size_t i = 0; i < net::NetStats::kNumTypes; ++i) {
       total.messages_by_type[i] += s.messages_by_type[i];
       total.bytes_by_type[i] += s.bytes_by_type[i];
@@ -492,11 +509,57 @@ void Cluster::route(ProcessId from, ProcessId to, wire::Message msg) {
     sent.messages_dropped++;
     return;
   }
+  // Link faults, sender-side (same order as the DES: loss, then duplicate,
+  // then per-copy reorder in send_copy). The per-slot link_rng is safe
+  // without a lock because only the thread stepping `from` routes for it.
+  int copies = 1;
+  if (link_enabled_) {
+    auto& lrng = slots_[static_cast<std::size_t>(from)]->link_rng;
+    const Time t = now();
+    const auto& loss = link_faults_.loss;
+    if (loss.active(t) && loss.covers(from, to) && lrng.chance(loss.p)) {
+      sent.messages_lost++;
+      return;
+    }
+    const auto& dup = link_faults_.duplicate;
+    if (dup.active(t) && dup.covers(from, to) && lrng.chance(dup.p)) {
+      sent.messages_duplicated++;
+      copies = 2;
+    }
+  }
   if (held_count_.load(std::memory_order_acquire) != 0) {
     std::lock_guard lock(chan_mu_);
     const auto key = chan_key(from, to);
     if (held_chans_.count(key) != 0) {
-      held_buffers_[key].push_back(MsgEnvelope{from, std::move(msg)});
+      auto& buf = held_buffers_[key];
+      for (int c = 1; c < copies; ++c) buf.push_back(MsgEnvelope{from, msg});
+      buf.push_back(MsgEnvelope{from, std::move(msg)});
+      return;
+    }
+  }
+  for (int c = 1; c < copies; ++c) send_copy(from, to, msg);
+  send_copy(from, to, std::move(msg));
+}
+
+void Cluster::send_copy(ProcessId from, ProcessId to, wire::Message msg) {
+  if (link_enabled_) {
+    const auto& re = link_faults_.reorder;
+    const Time t = now();
+    if (re.active(t) && re.covers(from, to) &&
+        slots_[static_cast<std::size_t>(from)]->link_rng.chance(re.p)) {
+      slots_[static_cast<std::size_t>(from)]->local_stats.messages_reordered++;
+      // Defer the copy through the timer: it re-enters the destination
+      // mailbox reorder_delay later, so fresher traffic on the same channel
+      // overtakes it. post() counts the deferred copy as pending work, so
+      // quiescence still waits for it.
+      post(t + link_faults_.reorder_delay, to,
+           net::PostFn(
+               [this, from, m = std::move(msg)](net::Context& ctx) mutable {
+                 auto& slot = *slots_[static_cast<std::size_t>(ctx.self())];
+                 if (deliver_msg(ctx, slot, MsgEnvelope{from, std::move(m)})) {
+                   delivered_.fetch_add(1, std::memory_order_relaxed);
+                 }
+               }));
       return;
     }
   }
@@ -505,6 +568,9 @@ void Cluster::route(ProcessId from, ProcessId to, wire::Message msg) {
 }
 
 bool Cluster::deliver_msg(net::Context& ctx, Slot& slot, MsgEnvelope env) {
+  // Gray (slow-but-alive): the process takes this step late but correctly.
+  const auto gray = slot.gray_ns.load(std::memory_order_relaxed);
+  if (gray > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(gray));
   if (opts_.max_jitter_us > 0) {
     const auto us = slot.rng.uniform(0, opts_.max_jitter_us);
     if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
@@ -534,6 +600,8 @@ bool Cluster::deliver_msg(net::Context& ctx, Slot& slot, MsgEnvelope env) {
 }
 
 void Cluster::deliver_fn(net::Context& ctx, Slot& slot, net::PostFn fn) {
+  const auto gray = slot.gray_ns.load(std::memory_order_relaxed);
+  if (gray > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(gray));
   if (opts_.max_jitter_us > 0) {
     const auto us = slot.rng.uniform(0, opts_.max_jitter_us);
     if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));

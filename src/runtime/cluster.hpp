@@ -57,6 +57,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/faults.hpp"
 #include "net/process.hpp"
 #include "net/stats.hpp"
 
@@ -137,6 +138,21 @@ class Cluster {
   void release_all(ProcessId pid);
   [[nodiscard]] bool held(ProcessId from, ProcessId to) const;
 
+  /// Installs probabilistic link faults (loss / duplication / reorder),
+  /// mirroring sim::World::set_link_faults. Must be called after the last
+  /// add() and before start(): each slot gets its own fault-sampling RNG
+  /// (route() for `from` only ever runs on the thread stepping `from`, so
+  /// the per-sender stream needs no lock). Reordered messages are deferred
+  /// through the timer by `lf.reorder_delay` wall-nanoseconds.
+  void set_link_faults(const net::LinkFaults& lf);
+
+  /// Marks `pid` gray (slow-but-alive): every step it takes -- message
+  /// deliveries and posted closures alike -- is preceded by a
+  /// `step_delay_ns` sleep on its stepping thread. 0 clears. The threaded
+  /// twin of the DES's delay multiplier: the process answers everything,
+  /// just late. Thread-safe; takes effect on the next step.
+  void set_gray(ProcessId pid, std::uint64_t step_delay_ns);
+
   [[nodiscard]] net::Process& process(ProcessId pid);
   [[nodiscard]] int num_processes() const {
     return static_cast<int>(slots_.size());
@@ -165,7 +181,12 @@ class Cluster {
     std::unique_ptr<net::Process> proc;
     bool active{false};
     Rng rng{0};
+    /// Link-fault sampling stream; touched only by the thread stepping
+    /// this process (route() is sender-side), see set_link_faults.
+    Rng link_rng{0};
     std::atomic<bool> crashed{false};
+    /// Gray (slow-but-alive) injected per-step delay; 0 = healthy.
+    std::atomic<std::uint64_t> gray_ns{0};
     /// Step-exclusivity token: held by whichever thread is currently
     /// running a step of this automaton -- its mailbox thread during a
     /// batch, or a sender delivering directly into an idle destination.
@@ -231,6 +252,9 @@ class Cluster {
   }
 
   void route(ProcessId from, ProcessId to, wire::Message msg);
+  /// One physical copy leaving `from`: applies the reorder rule (deferring
+  /// the copy through the timer) or enqueues it normally.
+  void send_copy(ProcessId from, ProcessId to, wire::Message msg);
   /// Appends to `pid`'s hot/cold lane -- unless the destination is an idle
   /// active process, in which case the work is delivered directly on the
   /// calling thread (see direct_delivery_). `already_counted` says whether
@@ -314,6 +338,11 @@ class Cluster {
   /// Held-buffer messages discarded by crash(); kept apart from the
   /// per-slot counters because crash() may run on any thread.
   std::atomic<std::uint64_t> crash_dropped_{0};
+
+  // Gray-failure library state (see set_link_faults / set_gray). Both off
+  // by default; the transport fast path pays one branch.
+  net::LinkFaults link_faults_{};
+  bool link_enabled_{false};
 };
 
 }  // namespace rr::runtime

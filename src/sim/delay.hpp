@@ -23,6 +23,16 @@ class DelayModel {
                                     Rng& rng) = 0;
 };
 
+/// Gray (slow-but-alive) overlay: scales a sampled delay by a per-process
+/// multiplier. Applied by the World on top of whatever DelayModel is
+/// installed (World::set_gray), so any base model composes with gray
+/// endpoints. Factors <= 1 are identity -- gray only ever slows a channel,
+/// which keeps the run inside the asynchronous model (delays stay finite).
+[[nodiscard]] inline Time scale_delay(Time d, double factor) {
+  if (factor <= 1.0) return d;
+  return static_cast<Time>(static_cast<double>(d) * factor);
+}
+
 /// Constant delay: handy for reasoning about exact round counts.
 class FixedDelay final : public DelayModel {
  public:

@@ -13,7 +13,7 @@ class WorldContext final : public net::Context {
   WorldContext(World& world, ProcessId self) : world_(world), self_(self) {}
 
   [[nodiscard]] ProcessId self() const override { return self_; }
-  [[nodiscard]] Time now() const override { return world_.now_; }
+  [[nodiscard]] Time now() const override { return world_.local_now(self_); }
 
   void send(ProcessId to, wire::Message msg) override {
     world_.do_send(self_, to, std::move(msg));
@@ -51,6 +51,30 @@ void World::replace_process(ProcessId pid, std::unique_ptr<net::Process> p) {
 void World::set_delay_model(std::unique_ptr<DelayModel> m) {
   RR_ASSERT(m != nullptr);
   delay_ = std::move(m);
+}
+
+void World::set_link_faults(const net::LinkFaults& lf) {
+  link_faults_ = lf;
+  link_enabled_ = lf.any();
+  link_rng_ = Rng(mix64(lf.seed ^ 0x11fa'0175'0000ULL));
+}
+
+void World::set_gray(ProcessId pid, double factor) {
+  RR_ASSERT(pid >= 0 && pid < num_processes());
+  if (gray_.empty() && factor <= 1.0) return;
+  if (gray_.size() < static_cast<std::size_t>(num_processes())) {
+    gray_.resize(static_cast<std::size_t>(num_processes()), 1.0);
+  }
+  gray_[static_cast<std::size_t>(pid)] = factor > 1.0 ? factor : 1.0;
+}
+
+void World::set_clock_skew(ProcessId pid, std::int64_t offset) {
+  RR_ASSERT(pid >= 0 && pid < num_processes());
+  if (skew_.empty() && offset == 0) return;
+  if (skew_.size() < static_cast<std::size_t>(num_processes())) {
+    skew_.resize(static_cast<std::size_t>(num_processes()), 0);
+  }
+  skew_[static_cast<std::size_t>(pid)] = offset;
 }
 
 net::Process& World::process(ProcessId pid) {
@@ -220,7 +244,7 @@ void World::release(ProcessId from, ProcessId to) {
   // event slab, never the buffer pool, so draining in place is safe; the
   // drained buffer goes back to the free list with its capacity intact.
   for (auto& msg : buffer_pool_[idx]) {
-    const Time d = delay_->sample(from, to, now_, rng_);
+    const Time d = channel_delay(from, to);
     schedule_delivery(from, to, std::move(msg), now_ + d);
   }
   recycle_buffer(idx);
@@ -246,6 +270,25 @@ void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
     stats_.bytes_sent += n;
     stats_.bytes_by_type[msg.index()] += n;
   }
+  // Link faults fire at send time, before hold buffering, so a held channel
+  // still loses/duplicates traffic. Draw order is fixed (loss, then
+  // duplicate, then per-copy reorder at scheduling) from the dedicated
+  // link RNG, keeping the base delay stream untouched.
+  int copies = 1;
+  if (link_enabled_) {
+    const auto& loss = link_faults_.loss;
+    if (loss.active(now_) && loss.covers(from, to) &&
+        link_rng_.chance(loss.p)) {
+      stats_.messages_lost++;
+      return;
+    }
+    const auto& dup = link_faults_.duplicate;
+    if (dup.active(now_) && dup.covers(from, to) &&
+        link_rng_.chance(dup.p)) {
+      stats_.messages_duplicated++;
+      copies = 2;
+    }
+  }
   if (held_count_ != 0 && chan_flag(from, to)) {
     // A buffer on a channel adjacent to a crashed endpoint could only ever
     // be purged (crash() discards it; delivery would drop it), so don't
@@ -257,10 +300,36 @@ void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
     }
     auto [it, inserted] = held_buffers_.try_emplace(chan_key(from, to), 0);
     if (inserted) it->second = alloc_buffer();
-    buffer_pool_[it->second].push_back(std::move(msg));
+    auto& buf = buffer_pool_[it->second];
+    for (int c = 1; c < copies; ++c) buf.push_back(msg);
+    buf.push_back(std::move(msg));
     return;
   }
+  for (int c = 1; c < copies; ++c) schedule_with_faults(from, to, msg);
+  schedule_with_faults(from, to, std::move(msg));
+}
+
+Time World::channel_delay(ProcessId from, ProcessId to) {
   const Time d = delay_->sample(from, to, now_, rng_);
+  if (gray_.empty()) return d;
+  const auto f = static_cast<std::size_t>(from);
+  const auto t = static_cast<std::size_t>(to);
+  double m = 1.0;
+  if (f < gray_.size()) m = gray_[f];
+  if (t < gray_.size() && gray_[t] > m) m = gray_[t];
+  return scale_delay(d, m);
+}
+
+void World::schedule_with_faults(ProcessId from, ProcessId to,
+                                 wire::Message msg) {
+  Time d = channel_delay(from, to);
+  if (link_enabled_) {
+    const auto& re = link_faults_.reorder;
+    if (re.active(now_) && re.covers(from, to) && link_rng_.chance(re.p)) {
+      stats_.messages_reordered++;
+      d += link_faults_.reorder_delay;
+    }
+  }
   schedule_delivery(from, to, std::move(msg), now_ + d);
 }
 

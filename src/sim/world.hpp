@@ -47,6 +47,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/faults.hpp"
 #include "net/process.hpp"
 #include "net/stats.hpp"
 #include "sim/delay.hpp"
@@ -124,6 +125,36 @@ class World {
   void release_all(ProcessId pid);
   [[nodiscard]] bool held(ProcessId from, ProcessId to) const;
 
+  /// Installs probabilistic link faults (loss / duplication / reorder).
+  /// Sampling draws from a dedicated RNG stream seeded by `lf.seed`, so the
+  /// base delay sequence of unaffected channels is untouched. Loss and
+  /// duplication apply at send time (before hold buffering); reorder defers
+  /// a scheduled delivery by `lf.reorder_delay`.
+  void set_link_faults(const net::LinkFaults& lf);
+
+  /// Marks `pid` gray (slow-but-alive): sampled delays on every channel
+  /// adjacent to it are multiplied by `factor` (the larger endpoint factor
+  /// wins). `factor <= 1` clears the mark. Models a process that answers
+  /// everything, just slowly -- legal under the asynchronous model.
+  void set_gray(ProcessId pid, double factor);
+
+  /// Skews `pid`'s local clock: Context::now() during its steps returns
+  /// now() + offset (clamped at 0). The global event clock is untouched, so
+  /// schedules -- and fingerprints -- only change if an automaton acts on
+  /// its local reading.
+  void set_clock_skew(ProcessId pid, std::int64_t offset);
+
+  /// `pid`'s local clock reading (now() unless skewed).
+  [[nodiscard]] Time local_now(ProcessId pid) const {
+    if (skew_.empty() || static_cast<std::size_t>(pid) >= skew_.size()) {
+      return now_;
+    }
+    const std::int64_t off = skew_[static_cast<std::size_t>(pid)];
+    if (off >= 0) return now_ + static_cast<Time>(off);
+    const auto back = static_cast<Time>(-off);
+    return now_ > back ? now_ - back : 0;
+  }
+
   /// Executes the next event. Returns false when the queue is empty.
   bool step();
 
@@ -183,6 +214,11 @@ class World {
   void do_send(ProcessId from, ProcessId to, wire::Message msg);
   void schedule_delivery(ProcessId from, ProcessId to, wire::Message msg,
                          Time at);
+  /// Samples the channel delay and applies the gray multiplier of either
+  /// endpoint (used by do_send and by release re-injection).
+  [[nodiscard]] Time channel_delay(ProcessId from, ProcessId to);
+  /// Non-held scheduling with the reorder rule applied; used per copy.
+  void schedule_with_faults(ProcessId from, ProcessId to, wire::Message msg);
   /// Executes one event plus, for deliveries, the whole run of queued
   /// deliveries with the same (time, dest). Returns events executed.
   std::uint64_t step_batch();
@@ -248,6 +284,14 @@ class World {
   std::unordered_map<std::uint64_t, BufferIndex> held_buffers_;
   std::vector<std::vector<wire::Message>> buffer_pool_;
   std::vector<BufferIndex> buffer_free_;
+
+  // Gray-failure library state. All empty/disabled by default: the hot path
+  // pays one predictable branch (link_enabled_, gray_.empty()) per send.
+  net::LinkFaults link_faults_{};
+  bool link_enabled_{false};
+  Rng link_rng_{0};                 ///< dedicated stream for fault sampling
+  std::vector<double> gray_;        ///< per-pid delay multiplier (1 = none)
+  std::vector<std::int64_t> skew_;  ///< per-pid local-clock offset
 
   std::unique_ptr<DelayModel> delay_;
   NetStats stats_;

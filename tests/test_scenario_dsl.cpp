@@ -1,0 +1,209 @@
+// Scenario DSL invariants: the round-trip property (parse -> emit -> parse
+// is the identity on the Scenario and on the DES fingerprint), zero
+// semantic drift between the six legacy enum templates and their committed
+// scenario-file twins, and the fixture-replay regression contract for
+// tests/fixtures/scenarios/.
+#include "harness/scenario_dsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace rr::harness {
+namespace {
+
+std::vector<std::string> scn_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".scn") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::string kLibraryDir = std::string(RR_SOURCE_DIR) + "/scenarios";
+const std::string kFixtureDir =
+    std::string(RR_SOURCE_DIR) + "/tests/fixtures/scenarios";
+
+// ---------------------------------------------------------------------------
+// The round-trip property, pinned over every committed scenario file: parse
+// -> emit -> parse yields an identical Scenario, and (for DES cells) running
+// both yields the identical schedule fingerprint.
+// ---------------------------------------------------------------------------
+TEST(ScenarioDsl, RoundTripIsIdentityOnEveryCommittedFile) {
+  std::vector<std::string> files = scn_files(kLibraryDir);
+  for (auto& f : scn_files(kFixtureDir)) files.push_back(std::move(f));
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const auto first = load_scenario_file(path);
+    ASSERT_TRUE(first.ok) << first.error;
+    const std::string text = emit_scenario(first.scenario);
+    const auto second = parse_scenario(text);
+    ASSERT_TRUE(second.ok) << second.error;
+    // The file-level name default comes from the filename; the emitted text
+    // carries it explicitly, so the structs must match exactly.
+    EXPECT_EQ(first.scenario, second.scenario);
+    EXPECT_EQ(emit_scenario(second.scenario), text);
+    if (first.scenario.backend == BackendKind::Sim) {
+      const auto v1 = SweepEngine::run_cell(first.scenario);
+      const auto v2 = SweepEngine::run_cell(second.scenario);
+      EXPECT_EQ(v1.fingerprint, v2.fingerprint);
+      EXPECT_NE(v1.fingerprint, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero semantic drift: each committed legacy twin replays bit-identically to
+// the enum template it was emitted from. The twin file records the grid
+// coordinates (protocol, template, seed) in its scenario/template lines, so
+// the enum side is re-materialized from those, with the quick plan's knobs.
+// ---------------------------------------------------------------------------
+TEST(ScenarioDsl, LegacyTwinFilesMatchEnumTemplateFingerprints) {
+  const SweepEngine engine(SweepPlan::quick());
+  const auto files = scn_files(kLibraryDir);
+  ASSERT_GE(files.size(), 6u);  // one twin per default template
+  std::vector<FaultTemplate> seen;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const auto parsed = load_scenario_file(path);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_EQ(parsed.scenario.backend, BackendKind::Sim);
+    const Scenario enum_twin =
+        engine.materialize(parsed.scenario.protocol, parsed.scenario.backend,
+                           parsed.scenario.tmpl, parsed.scenario.seed);
+    // The twin must carry the exact same schedule...
+    EXPECT_EQ(parsed.scenario.events, enum_twin.events);
+    EXPECT_EQ(parsed.scenario.run_seed, enum_twin.run_seed);
+    // ...and replay to the exact same DES fingerprint.
+    EXPECT_EQ(SweepEngine::run_cell(parsed.scenario).fingerprint,
+              SweepEngine::run_cell(enum_twin).fingerprint);
+    seen.push_back(parsed.scenario.tmpl);
+  }
+  for (const auto t : default_fault_templates()) {
+    EXPECT_NE(std::find(seen.begin(), seen.end(), t), seen.end())
+        << "no committed twin for template " << to_string(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture replay: every file under tests/fixtures/scenarios/ runs on its
+// recorded protocol/backend/seed and must reproduce its recorded verdict.
+// This is where shrinker-emitted minimal failing schedules live forever.
+// ---------------------------------------------------------------------------
+TEST(ScenarioDsl, FixturesReproduceTheirRecordedVerdicts) {
+  const auto files = scn_files(kFixtureDir);
+  ASSERT_FALSE(files.empty());
+  int expected_failures = 0;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const auto parsed = load_scenario_file(path);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const CellVerdict v = SweepEngine::run_cell(parsed.scenario);
+    EXPECT_EQ(v.ok, parsed.scenario.expect_ok) << v.first_violation;
+    if (!parsed.scenario.expect_ok) ++expected_failures;
+  }
+  // The directory must keep at least one shrunk minimal failing schedule.
+  EXPECT_GE(expected_failures, 1);
+}
+
+// The library directory also runs through the sweep engine as first-class
+// cells, with expect-aware failure counting.
+TEST(ScenarioDsl, LibraryRunsAsSweepCells) {
+  const auto lib = load_scenario_dir(kFixtureDir);
+  ASSERT_TRUE(lib.ok()) << lib.errors.front();
+  SweepPlan plan;
+  plan.protocols.clear();
+  plan.backends.clear();
+  plan.templates.clear();
+  plan.library = lib.scenarios;
+  const SweepEngine engine(std::move(plan));
+  EXPECT_EQ(engine.plan().num_cells(), lib.scenarios.size());
+  const SweepReport report = engine.run(2);
+  EXPECT_EQ(report.failed, 0) << "a fixture's verdict drifted";
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.key.rfind("scn:", 0), 0u) << cell.key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser surface: sugar (time suffixes, from=/to=, Nx factors) lowers to
+// canonical form, and malformed input is a parse error with a line number,
+// never an assertion later in the pipeline.
+// ---------------------------------------------------------------------------
+TEST(ScenarioDsl, SugarLowersToCanonicalForm) {
+  const auto parsed = parse_scenario(
+      "scenario safe des seed=4 name=sugar\n"
+      "workload writes=3 reads=2 write_gap=5us read_gap=3us shards=1\n"
+      "fault gray obj=1 slow=8x from=10us to=200us\n"
+      "fault flap objs=0,3 period=20us duty=0.5\n"
+      "fault crash obj=2 at=40us\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& s = parsed.scenario;
+  EXPECT_EQ(s.write_gap, 5'000u);
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0].kind, FaultEvent::Kind::Gray);
+  EXPECT_DOUBLE_EQ(s.events[0].rate, 8.0);
+  EXPECT_EQ(s.events[0].at, 10'000u);
+  EXPECT_EQ(s.events[0].duration, 190'000u);  // to - from
+  EXPECT_EQ(s.events[1].kind, FaultEvent::Kind::Flap);
+  EXPECT_EQ(s.events[1].period, 20'000u);
+  EXPECT_EQ(s.events[1].duration, 300'000u);  // default horizon, resolved
+  EXPECT_EQ(s.events[2].at, 40'000u);
+  // The canonical emission re-parses to the identical scenario.
+  const auto again = parse_scenario(emit_scenario(s));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.scenario, s);
+}
+
+TEST(ScenarioDsl, MalformedInputIsARejectionNotAnAbort) {
+  const char* cases[] = {
+      "",                                          // no scenario line
+      "fault crash obj=0\nscenario safe des\n",    // scenario not first
+      "scenario warp des\n",                       // unknown protocol
+      "scenario safe des\nfault flip obj=0\n",     // unknown fault kind
+      "scenario safe des\nfault crash at=5\n",     // missing obj=
+      "scenario safe des\nfault crash obj=99 at=5\n",  // object out of range
+      "scenario safe des\nfault hold objs=0 at=5\n",   // hold without dur
+      "scenario safe des\nfault gray obj=0 slow=0.5\n",  // factor <= 1
+      "scenario safe des\nfault loss p=2\n",       // p out of range
+      "scenario safe des\nfault loss p=0.1\nfault loss p=0.2\n",  // dup rule
+      "scenario safe des\n"                        // byz over budget b=1
+      "fault byz obj=0\nfault byz obj=1\n",
+      "scenario safe des\nnonsense 1 2 3\n",       // unknown directive
+  };
+  for (const char* text : cases) {
+    SCOPED_TRACE(text);
+    const auto parsed = parse_scenario(text);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_FALSE(parsed.error.empty());
+  }
+}
+
+// Named scenarios address as "scn:<name>" through the engine, and the name
+// defaults to the filename stem for file-backed scenarios.
+TEST(ScenarioDsl, NamedScenariosResolveThroughTheEngine) {
+  auto parsed = parse_scenario(
+      "scenario regular des seed=2 name=probe\nfault crash obj=1 at=9000\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.scenario.key(), "scn:probe");
+  SweepPlan plan;
+  plan.protocols = {Protocol::Safe};
+  plan.library.push_back(parsed.scenario);
+  const SweepEngine engine(std::move(plan));
+  const auto found = engine.materialize_key("scn:probe");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, parsed.scenario);
+  EXPECT_FALSE(engine.materialize_key("scn:absent").has_value());
+}
+
+}  // namespace
+}  // namespace rr::harness

@@ -81,8 +81,11 @@ TEST(Sweep, ReplayByKeyReproducesTheCell) {
   EXPECT_FALSE(engine.materialize_key("regular:des:byzchaos").has_value());
   EXPECT_FALSE(engine.materialize_key("nope:des:chaos:1").has_value());
   EXPECT_FALSE(engine.materialize_key("safe:des:chaos:x").has_value());
-  // Overload stalls quorums forever; replaying it on threads would abort.
-  EXPECT_FALSE(engine.materialize_key("safe:threads:overload:1").has_value());
+  // Overload on threads materializes with a bounded wall-clock deadline, so
+  // a replay degrades to a liveness verdict instead of aborting.
+  const auto overload = engine.materialize_key("safe:threads:overload:1");
+  ASSERT_TRUE(overload.has_value());
+  EXPECT_GT(overload->max_wall_ms, 0u);
 }
 
 TEST(Sweep, QuickGridMeetsTheCiContract) {
