@@ -1,11 +1,21 @@
 // E10 (extension ablation) -- history garbage collection for the regular
 // storage. The paper keeps full histories "for presentation simplicity" and
 // flags storage exhaustion as the price. This ablation quantifies it:
-// per-object memory and bytes-on-wire vs. the retention limit, with the
+// per-object memory and bytes-on-wire vs. the retention policy, with the
 // checker confirming regularity is never traded away.
+//
+// Two policies compose (see ARCHITECTURE.md, "History lifecycle"):
+//   - watermark GC collects the prefix every reader has acked (free), and
+//   - the hard cap bounds slots against readers that never ack (a crashed
+//     reader must not wedge memory), at the price of counted resyncs.
+//
+// Emits BENCH_history_gc.json for the CI perf-regression gate; --quick
+// shrinks the op budget for CI smoke mode. All runs are DES, so every
+// number here is bit-deterministic.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "harness/deployment.hpp"
 #include "harness/table.hpp"
@@ -18,57 +28,154 @@ namespace {
 
 using namespace rr;
 
-void print_gc_table() {
+constexpr std::size_t kHistAckIndex =
+    wire::message_index<wire::HistReadAckMsg>();
+
+struct GcRow {
+  std::size_t limit{0};
+  std::size_t max_slots{0};
+  std::uint64_t ack_bytes{0};
+  std::uint64_t slots_shipped{0};
+  std::uint64_t resyncs{0};
+  int reads{0};
+  int violations{0};
+};
+
+GcRow run_retention(std::size_t limit, int writes, int reads_per_reader,
+                    int seeds) {
+  GcRow row;
+  row.limit = limit;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    harness::DeploymentOptions opts;
+    opts.protocol = harness::Protocol::Regular;
+    opts.res = Resilience::optimal(2, 2, 2);
+    opts.seed = seed * 7907;
+    opts.history_limit = limit;
+    harness::Deployment d(opts);
+    harness::MixedWorkloadOptions w;
+    w.writes = writes;
+    w.reads_per_reader = reads_per_reader;
+    w.write_gap = 2'000;
+    w.read_gap = 6'000;
+    harness::mixed_workload(d, w);
+    d.run();
+    for (int i = 0; i < d.res().num_objects; ++i) {
+      auto* obj = dynamic_cast<objects::RegularObject*>(&d.object_process(i));
+      if (obj != nullptr) {
+        row.max_slots = std::max(row.max_slots, obj->history_size());
+      }
+    }
+    const auto stats = d.stats();
+    row.ack_bytes += stats.bytes_by_type[kHistAckIndex];
+    row.slots_shipped += stats.hist_slots_shipped;
+    row.resyncs += stats.hist_resyncs;
+    const auto report = d.check();
+    row.reads += report.reads_checked;
+    row.violations += static_cast<int>(report.violations.size());
+  }
+  return row;
+}
+
+/// The never-acking-reader stress: reader 1 exists in the topology but
+/// never reads, so the watermark rule alone can collect nothing and only
+/// the hard cap bounds memory. The bounded max-slots number (and the
+/// resyncs the cap forces on the live reader) is what the gate pins.
+GcRow run_never_acking(std::size_t limit, int writes) {
+  GcRow row;
+  row.limit = limit;
+  harness::DeploymentOptions opts;
+  opts.protocol = harness::Protocol::RegularOptimized;
+  opts.res = Resilience::optimal(1, 1, 2);
+  opts.seed = 13;
+  opts.history_limit = limit;
+  harness::Deployment d(opts);
+  harness::write_stream(d, 0, 1'000, writes);
+  harness::read_stream(d, /*reader=*/0, /*start=*/10'000, /*gap=*/12'000,
+                       std::max(2, writes / 10));
+  d.run();
+  for (int i = 0; i < d.res().num_objects; ++i) {
+    auto* obj = dynamic_cast<objects::RegularObject*>(&d.object_process(i));
+    if (obj != nullptr) {
+      row.max_slots = std::max(row.max_slots, obj->history_size());
+      row.resyncs += obj->resyncs_served();
+    }
+  }
+  const auto report = d.check();
+  row.reads = report.reads_checked;
+  row.violations = static_cast<int>(report.violations.size());
+  return row;
+}
+
+void run_gc_suite(bool quick) {
+  const int writes = quick ? 30 : 60;
+  const int reads = quick ? 10 : 20;
+  const int seeds = quick ? 2 : 3;
   std::printf(
-      "\n=== E10 (extension): history GC ablation (t=b=2, S=7, 60 writes, "
-      "reads throughout) ===\n");
+      "\n=== E10 (extension): history GC ablation (t=b=2, S=7, %d writes, "
+      "reads throughout) ===\n",
+      writes);
   harness::Table table({"retention", "max slots/object", "hist-ack bytes",
-                        "reads", "violations"});
+                        "slots shipped", "resyncs", "reads", "violations"});
+  std::vector<GcRow> rows;
   for (const std::size_t limit : {std::size_t{0}, std::size_t{16},
                                   std::size_t{8}, std::size_t{4},
                                   std::size_t{2}}) {
-    std::uint64_t ack_bytes = 0;
-    std::size_t max_slots = 0;
-    int reads = 0;
-    int violations = 0;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-      harness::DeploymentOptions opts;
-      opts.protocol = harness::Protocol::Regular;
-      opts.res = Resilience::optimal(2, 2, 2);
-      opts.seed = seed * 7907;
-      opts.history_limit = limit;
-      harness::Deployment d(opts);
-      harness::MixedWorkloadOptions w;
-      w.writes = 60;
-      w.reads_per_reader = 20;
-      w.write_gap = 2'000;
-      w.read_gap = 6'000;
-      harness::mixed_workload(d, w);
-      d.run();
-      for (int i = 0; i < d.res().num_objects; ++i) {
-        auto* obj =
-            dynamic_cast<objects::RegularObject*>(&d.object_process(i));
-        if (obj != nullptr) {
-          max_slots = std::max(max_slots, obj->history_size());
-        }
-      }
-      constexpr std::size_t kHistAckIndex = 6;
-      ack_bytes += d.world().stats().bytes_by_type[kHistAckIndex];
-      const auto report = d.check();
-      reads += report.reads_checked;
-      violations += static_cast<int>(report.violations.size());
-      for (const auto& op : d.log().snapshot()) {
-        if (op.kind == checker::OpRecord::Kind::Read) ++reads;
-      }
-    }
-    table.add_row(limit == 0 ? std::string("unlimited") : std::to_string(limit),
-                  max_slots, ack_bytes, reads, violations);
+    rows.push_back(run_retention(limit, writes, reads, seeds));
+    const auto& r = rows.back();
+    table.add_row(limit == 0 ? std::string("watermark only")
+                             : "cap " + std::to_string(limit),
+                  r.max_slots, r.ack_bytes, r.slots_shipped, r.resyncs,
+                  r.reads, r.violations);
   }
   table.print();
+
+  const int stress_writes = quick ? 40 : 120;
+  const GcRow unbounded = run_never_acking(0, stress_writes);
+  const GcRow capped = run_never_acking(8, stress_writes);
+  std::printf(
+      "\nnever-acking reader (%d writes, one live reader): watermark-only "
+      "max slots %zu vs\nhard-cap-8 max slots %zu (%llu flagged resyncs, "
+      "%d violations) -- the cap, not the\nwatermark, is what bounds memory "
+      "against a crashed reader.\n",
+      stress_writes, unbounded.max_slots, capped.max_slots,
+      static_cast<unsigned long long>(capped.resyncs),
+      capped.violations + unbounded.violations);
   std::printf(
       "\nExpected shape: memory and read traffic drop with the retention "
       "limit while\nviolations stay 0 -- GC resolves the Section 5 storage-"
       "exhaustion caveat for free\non read-mostly workloads.\n\n");
+
+  FILE* out = std::fopen("BENCH_history_gc.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_history_gc.json\n");
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"history_gc\",\n");
+  std::fprintf(out, "  \"writes\": %d,\n  \"seeds\": %d,\n", writes, seeds);
+  std::fprintf(out,
+               "  \"never_acking\": {\"writes\": %d, "
+               "\"unbounded_max_slots\": %zu, \"capped_max_slots\": %zu, "
+               "\"cap\": 8, \"resyncs\": %llu, \"violations\": %d},\n",
+               stress_writes, unbounded.max_slots, capped.max_slots,
+               static_cast<unsigned long long>(capped.resyncs),
+               capped.violations + unbounded.violations);
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(out,
+                 "    {\"limit\": %zu, \"max_slots\": %zu, "
+                 "\"hist_ack_bytes\": %llu, \"slots_shipped\": %llu, "
+                 "\"resyncs\": %llu, \"reads\": %d, \"violations\": %d}%s\n",
+                 r.limit, r.max_slots,
+                 static_cast<unsigned long long>(r.ack_bytes),
+                 static_cast<unsigned long long>(r.slots_shipped),
+                 static_cast<unsigned long long>(r.resyncs), r.reads,
+                 r.violations, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_history_gc.json\n\n");
 }
 
 void BM_GcPruning(benchmark::State& state) {
@@ -89,8 +196,25 @@ BENCHMARK(BM_GcPruning)->Arg(0)->Arg(4)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_gc_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bool quick = false;
+  bool run_benchmarks = true;
+  // Strip our flags before google-benchmark sees the command line.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--no-benchmarks") == 0) {
+      run_benchmarks = false;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  run_gc_suite(quick);
+  if (run_benchmarks) {
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

@@ -9,13 +9,21 @@ missing from the fresh run also fails: a protocol silently falling out of a
 bench must not pass the gate. Metrics only present in the fresh run are
 reported and ignored (new protocols grow the baseline on the next --update).
 
-Understands the three quick-mode bench formats by their "bench" field:
+Understands the quick-mode bench formats by their "bench" field:
   world_throughput      pool_loop.events_per_sec             (higher-better)
   protocol_comparison   per protocol x backend: ops_per_s,
-                        events_per_s; plus the threads
-                        batched-vs-per-message speedup ratio (higher-better)
+                        events_per_s; the threads
+                        batched-vs-per-message speedup ratio
+                        and the gv06-regular-vs-abd events/s
+                        ratio per backend                    (higher-better)
   latency_profile       per protocol x backend: writes.p95,
                         reads.p95                            (lower-better)
+  history_gc            per retention limit: max_slots,
+                        hist_ack_bytes, resyncs; the
+                        never-acking capped max slots        (lower-better)
+                        and a violation-free flag            (higher-better)
+  history_optimization  per variant: bytes_per_read,
+                        slots_shipped                        (lower-better)
 
 DES latency numbers are virtual time, hence bit-deterministic: any p95
 movement there is a real algorithmic change, not scheduler noise. Wall-clock
@@ -65,6 +73,49 @@ def extract_metrics(doc):
         if "threads_batch" in doc:
             metrics["threads_batch_speedup"] = (
                 float(doc["threads_batch"]["speedup"]), HIGHER_IS_BETTER)
+        # Price of regularity over atomic-in-failure-free abd, per backend:
+        # another same-run same-machine ratio, so runner provisioning cancels
+        # out. This is what the ack-driven delta shipping bought -- it drops
+        # the moment the read path regrows an O(history) tail.
+        rows = {(r["protocol"], r["backend"]): r for r in doc["results"]}
+        for backend in sorted({r["backend"] for r in doc["results"]}):
+            reg = rows.get(("gv06-regular", backend))
+            abd = rows.get(("abd", backend))
+            if reg and abd and float(abd["events_per_s"]) > 0:
+                metrics[f"regular_vs_abd.{backend}.events_ratio"] = (
+                    float(reg["events_per_s"]) / float(abd["events_per_s"]),
+                    HIGHER_IS_BETTER)
+    elif bench == "history_gc":
+        # All DES, bit-deterministic: any movement is a real change in the
+        # GC/delta machinery, not noise. Slots and bytes are lower-better
+        # (memory and wire cost of the retention policy); the violation-free
+        # flag turns "regularity must never be traded away" into a gateable
+        # higher-better metric (0 violations -> 1.0, any violation -> 0.0,
+        # which is an unconditional FAIL against a 1.0 baseline).
+        total_violations = doc["never_acking"]["violations"]
+        for row in doc["rows"]:
+            key = ("gc.watermark_only" if row["limit"] == 0
+                   else f"gc.cap{row['limit']}")
+            metrics[f"{key}.max_slots"] = (float(row["max_slots"]),
+                                           LOWER_IS_BETTER)
+            metrics[f"{key}.hist_ack_bytes"] = (float(row["hist_ack_bytes"]),
+                                                LOWER_IS_BETTER)
+            metrics[f"{key}.resyncs"] = (float(row["resyncs"]),
+                                         LOWER_IS_BETTER)
+            total_violations += row["violations"]
+        metrics["never_acking.capped_max_slots"] = (
+            float(doc["never_acking"]["capped_max_slots"]), LOWER_IS_BETTER)
+        metrics["violation_free"] = (
+            1.0 if total_violations == 0 else 0.0, HIGHER_IS_BETTER)
+    elif bench == "history_optimization":
+        # Also pure DES. bytes_per_read flat in the write count is the
+        # tentpole property: deltas ship O(1) slots per read, so a fresh run
+        # regrowing per-read bytes means the O(history) tail came back.
+        for variant in ("full", "suffix"):
+            metrics[f"{variant}.bytes_per_read"] = (
+                float(doc[variant]["bytes_per_read"]), LOWER_IS_BETTER)
+            metrics[f"{variant}.slots_shipped"] = (
+                float(doc[variant]["slots_shipped"]), LOWER_IS_BETTER)
     elif bench == "latency_profile":
         for row in doc["rows"]:
             key = f"{row['protocol']}/{row['backend']}"

@@ -30,6 +30,7 @@ bool is_write_message(const wire::Message& m) {
 
 bool is_read_request(const wire::Message& m) {
   return std::holds_alternative<wire::ReadMsg>(m) ||
+         std::holds_alternative<wire::HistReadMsg>(m) ||
          std::holds_alternative<wire::PollMsg>(m) ||
          std::holds_alternative<wire::AuthReadMsg>(m) ||
          std::holds_alternative<wire::AbdQueryMsg>(m);
@@ -131,6 +132,21 @@ class ByzantineBase : public net::Process {
         wire::HistReadAckMsg ack;
         ack.round = rd->round;
         ack.tsr = rd->tsr;
+        ack.history[0] = wire::HistEntry{
+            TsVal::bottom(),
+            initial_wtuple(static_cast<std::size_t>(res_.num_objects))};
+        ack.history[fake_ts] = wire::HistEntry{fake.tsval, fake};
+        outs.push_back(Outgoing{from, std::move(ack)});
+      }
+    } else if (const auto* hrd = std::get_if<wire::HistReadMsg>(&msg)) {
+      if (flavor_ == Flavor::Regular) {
+        // Ignore the requested floor: ship the forged slot (plus the initial
+        // one) regardless of what the reader claims to have. An honest-shaped
+        // delta could not be more damaging than this superset.
+        const WTuple fake = forge_tuple(fake_ts, val, accuse, reader_j);
+        wire::HistReadAckMsg ack;
+        ack.round = hrd->round;
+        ack.tsr = hrd->tsr;
         ack.history[0] = wire::HistEntry{
             TsVal::bottom(),
             initial_wtuple(static_cast<std::size_t>(res_.num_objects))};
@@ -367,6 +383,11 @@ class StaleReplayer final : public ByzantineBase {
       } else if (auto* hist = std::get_if<wire::HistReadAckMsg>(&reply)) {
         hist->round = rd->round;
         hist->tsr = rd->tsr;
+      }
+    } else if (const auto* hrd = std::get_if<wire::HistReadMsg>(&request)) {
+      if (auto* hist = std::get_if<wire::HistReadAckMsg>(&reply)) {
+        hist->round = hrd->round;
+        hist->tsr = hrd->tsr;
       }
     } else if (const auto* poll = std::get_if<wire::PollMsg>(&request)) {
       if (auto* ack = std::get_if<wire::PollAckMsg>(&reply)) {

@@ -1,6 +1,7 @@
 #include "core/regular_reader.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -18,14 +19,16 @@ RegularReader::RegularReader(const Resilience& res, const Topology& topo,
   RR_ASSERT(reader_index >= 0 && reader_index < res.num_readers);
   RR_ASSERT_MSG(res.num_objects <= 64,
                 "conflict-quorum search uses 64-bit vertex masks");
+  mirror_.resize(static_cast<std::size_t>(res.num_objects));
+  have_.assign(static_cast<std::size_t>(res.num_objects), 0);
 }
 
 void RegularReader::read(net::Context& ctx, ReadCallback cb) {
   RR_ASSERT_MSG(phase_ == Phase::Idle,
                 "READ invoked while previous READ in progress");
   // Figure 6 lines 7-10.
-  hist1_.assign(static_cast<std::size_t>(res_.num_objects), std::nullopt);
-  hist2_.assign(static_cast<std::size_t>(res_.num_objects), std::nullopt);
+  replied1_.assign(static_cast<std::size_t>(res_.num_objects), 0);
+  replied2_.assign(static_cast<std::size_t>(res_.num_objects), 0);
   candidates_.clear();
   cb_ = std::move(cb);
   invoked_at_ = ctx.now();
@@ -34,7 +37,9 @@ void RegularReader::read(net::Context& ctx, ReadCallback cb) {
   request_cache_ts_ = optimized_ ? cache_.ts : 0;
   phase_ = Phase::Round1;
   for (int i = 0; i < res_.num_objects; ++i) {
-    ctx.send(topo_.object(i), wire::ReadMsg{1, tsr_, request_cache_ts_});
+    const auto ui = static_cast<std::size_t>(i);
+    ctx.send(topo_.object(i),
+             wire::HistReadMsg{1, tsr_, request_cache_ts_, have_[ui]});
   }
 }
 
@@ -52,82 +57,111 @@ void RegularReader::handle_ack(net::Context& ctx, ProcessId from,
   // Figure 6 lines 17-25: one reply per object per round (the tsr[i] guard),
   // pattern-matched against the reader's current timestamp.
   if (phase_ == Phase::Round1 && m.round == 1 && m.tsr == tsr_first_round_ &&
-      !hist1_[i].has_value()) {
+      !replied1_[i]) {
     ++diag_.round1_acks;
-    diag_.history_slots_received += m.history.size();
-    hist1_[i] = m.history;
-    add_candidates_from(m.history);  // Figure 6 line 20
+    replied1_[i] = 1;
+    merge_delta(i, m);
+    add_candidates_from_mirror(i);  // Figure 6 line 20
     sweep_removals();
     if (round1_complete()) {
       start_round2(ctx);
       try_finish(ctx);
     }
   } else if (phase_ == Phase::Round2 && m.round == 2 &&
-             m.tsr == tsr_first_round_ + 1 && !hist2_[i].has_value()) {
+             m.tsr == tsr_first_round_ + 1 && !replied2_[i]) {
     ++diag_.round2_acks;
-    diag_.history_slots_received += m.history.size();
-    hist2_[i] = m.history;
+    replied2_[i] = 1;
+    merge_delta(i, m);
     sweep_removals();
     try_finish(ctx);
+  } else if (m.resync == 0) {
+    // Late ack (the round closed at a quorum without this object, or the
+    // READ already returned): the delta is still a correct suffix of the
+    // object's history and the mirror union is monotone, so merge it anyway.
+    // Without this, a chronically slow object's `have` floor goes stale and
+    // its deltas regrow the O(history) tail. It takes no part in this
+    // round's candidate/removal bookkeeping (not marked replied). Resync
+    // suffixes are exempt: the mirror rebuild is not monotone and may gap
+    // against a floor that has moved on.
+    merge_delta(i, m);
   }
 }
 
-void RegularReader::add_candidates_from(const wire::History& h) {
-  for (const auto& [ts, entry] : h) {
-    if (!entry.w.has_value()) continue;
-    const WTuple& w = *entry.w;
+void RegularReader::merge_delta(std::size_t i, const wire::HistReadAckMsg& m) {
+  diag_.history_slots_received += m.history.size();
+  if (m.resync != 0) {
+    // The object's hard cap evicted slots below our floor: the shipped
+    // suffix starts at m.since > floor, so our mirror can no longer be
+    // extended gap-free. Rebuild it from the flagged suffix.
+    ++diag_.resyncs;
+    mirror_[i].clear();
+  }
+  // Monotone union: an engaged pw/w in the mirror is never regressed to nil
+  // by a reordered or replayed delta, so a slot can never flip from vouching
+  // back to denying.
+  mirror_[i].merge(m.history);
+  if (!mirror_[i].empty()) {
+    have_[i] = std::prev(mirror_[i].end())->first;
+  }
+}
+
+void RegularReader::add_candidates_from_mirror(std::size_t i) {
+  // Figure 6 line 20 over the mirror: the mirror suffix from the requested
+  // cache_ts is exactly the history a full Section 5.1 suffix reply would
+  // have carried; the delta only shipped the part we lacked.
+  const auto& h = mirror_[i];
+  for (auto it = h.lower_bound(request_cache_ts_); it != h.end(); ++it) {
+    if (!it->second.w.has_value()) continue;
+    const WTuple& w = *it->second.w;
     const bool known = std::any_of(
         candidates_.begin(), candidates_.end(),
         [&](const Candidate& c) { return c.tuple == w; });
     if (!known) {
-      candidates_.push_back(Candidate{w, false});
+      const auto j = static_cast<std::size_t>(reader_index_);
+      bool accuses = false;
+      for (const auto& row : w.tsrarray) {
+        if (row.has_value() && j < row->size() && (*row)[j] > tsr_first_round_) {
+          accuses = true;
+          break;
+        }
+      }
+      candidates_.push_back(Candidate{w, false, accuses});
       ++diag_.candidates_added;
     }
   }
 }
 
-const wire::History* RegularReader::replied_history(int rnd,
-                                                    std::size_t i) const {
-  const auto& slot = (rnd == 1) ? hist1_[i] : hist2_[i];
-  return slot.has_value() ? &*slot : nullptr;
+bool RegularReader::replied(int rnd, std::size_t i) const {
+  return (rnd == 1 ? replied1_[i] : replied2_[i]) != 0;
 }
 
 bool RegularReader::object_vouches(std::size_t i, const WTuple& c) const {
-  // Figure 6 line 3: some replied round's history confirms slot c.ts with
-  // c's pair (pw) or c itself (w).
-  for (int rnd = 1; rnd <= 2; ++rnd) {
-    const auto* h = replied_history(rnd, i);
-    if (h == nullptr) continue;
-    const auto it = h->find(c.tsval.ts);
-    if (it == h->end()) continue;
-    if ((it->second.pw.has_value() && *it->second.pw == c.tsval) ||
-        (it->second.w.has_value() && *it->second.w == c)) {
-      return true;
-    }
-  }
-  return false;
+  // Figure 6 line 3: a replied object's history confirms slot c.ts with c's
+  // pair (pw) or c itself (w). The mirror stands in for the replied
+  // histories of both rounds.
+  if (!replied(1, i) && !replied(2, i)) return false;
+  const auto& h = mirror_[i];
+  const auto it = h.find(c.tsval.ts);
+  if (it == h.end()) return false;
+  return (it->second.pw.has_value() && *it->second.pw == c.tsval) ||
+         (it->second.w.has_value() && *it->second.w == c);
 }
 
 bool RegularReader::object_denies(std::size_t i, const WTuple& c) const {
-  // Figure 6 line 2: some replied round's history has no w entry for slot
+  // Figure 6 line 2: a replied object's history has no w entry for slot
   // c.ts, or a mismatching pw or w. A missing slot reads as <nil, nil>.
-  for (int rnd = 1; rnd <= 2; ++rnd) {
-    const auto* h = replied_history(rnd, i);
-    if (h == nullptr) continue;
-    const auto it = h->find(c.tsval.ts);
-    if (it == h->end()) return true;
-    const auto& e = it->second;
-    if (!e.w.has_value() || !(*e.w == c) || !e.pw.has_value() ||
-        !(*e.pw == c.tsval)) {
-      return true;
-    }
-  }
-  return false;
+  if (!replied(1, i) && !replied(2, i)) return false;
+  const auto& h = mirror_[i];
+  const auto it = h.find(c.tsval.ts);
+  if (it == h.end()) return true;
+  const auto& e = it->second;
+  return !e.w.has_value() || !(*e.w == c) || !e.pw.has_value() ||
+         !(*e.pw == c.tsval);
 }
 
 bool RegularReader::is_safe(const WTuple& c) const {
   int vouchers = 0;
-  for (std::size_t i = 0; i < hist1_.size(); ++i) {
+  for (std::size_t i = 0; i < mirror_.size(); ++i) {
     if (object_vouches(i, c)) ++vouchers;
   }
   return vouchers >= res_.b + 1;
@@ -135,7 +169,7 @@ bool RegularReader::is_safe(const WTuple& c) const {
 
 bool RegularReader::is_invalid(const WTuple& c) const {
   int deniers = 0;
-  for (std::size_t i = 0; i < hist1_.size(); ++i) {
+  for (std::size_t i = 0; i < mirror_.size(); ++i) {
     if (object_denies(i, c)) ++deniers;
   }
   return deniers >= res_.t + res_.b + 1;
@@ -155,11 +189,11 @@ bool RegularReader::conflict(std::size_t i, std::size_t k) const {
   // Figure 6 line 1: object k's round-1 history contains a candidate tuple
   // accusing object i of a reader timestamp above tsrFR.
   const auto j = static_cast<std::size_t>(reader_index_);
-  const auto* h = replied_history(1, k);
-  if (h == nullptr) return false;
+  if (!replied(1, k)) return false;
+  const auto& h = mirror_[k];
   for (const auto& cand : candidates_) {
     if (cand.removed) continue;
-    for (const auto& [ts, entry] : *h) {
+    for (const auto& [ts, entry] : h) {
       if (!entry.w.has_value() || !(*entry.w == cand.tuple)) continue;
       const auto& arr = cand.tuple.tsrarray;
       if (i >= arr.size() || !arr[i].has_value()) continue;
@@ -173,19 +207,26 @@ bool RegularReader::conflict(std::size_t i, std::size_t k) const {
 bool RegularReader::round1_complete() const {
   std::uint64_t responders = 0;
   int count = 0;
-  for (std::size_t i = 0; i < hist1_.size(); ++i) {
-    if (hist1_[i].has_value()) {
+  for (std::size_t i = 0; i < replied1_.size(); ++i) {
+    if (replied1_[i] != 0) {
       responders |= 1ULL << i;
       ++count;
     }
   }
   if (count < res_.quorum()) return false;
 
-  std::vector<std::uint64_t> adj(hist1_.size(), 0);
+  // No candidate carries an accusing tsr entry for this reader: no conflict
+  // edge can exist, so any quorum of responders is independent.
+  const bool any_accuser = std::any_of(
+      candidates_.begin(), candidates_.end(),
+      [](const Candidate& c) { return !c.removed && c.accuses; });
+  if (!any_accuser) return true;
+
+  std::vector<std::uint64_t> adj(replied1_.size(), 0);
   bool any_edge = false;
-  for (std::size_t i = 0; i < hist1_.size(); ++i) {
+  for (std::size_t i = 0; i < replied1_.size(); ++i) {
     if (!(responders & (1ULL << i))) continue;
-    for (std::size_t k = i + 1; k < hist1_.size(); ++k) {
+    for (std::size_t k = i + 1; k < replied1_.size(); ++k) {
       if (!(responders & (1ULL << k))) continue;
       if (conflict(i, k) || conflict(k, i)) {
         adj[i] |= 1ULL << k;
@@ -202,16 +243,20 @@ void RegularReader::start_round2(net::Context& ctx) {
   phase_ = Phase::Round2;
   ++tsr_;
   for (int i = 0; i < res_.num_objects; ++i) {
-    ctx.send(topo_.object(i), wire::ReadMsg{2, tsr_, request_cache_ts_});
+    const auto ui = static_cast<std::size_t>(i);
+    ctx.send(topo_.object(i),
+             wire::HistReadMsg{2, tsr_, request_cache_ts_, have_[ui]});
   }
 }
 
 void RegularReader::try_finish(net::Context& ctx) {
   if (phase_ != Phase::Round2) return;
-  // Figure 6 lines 14-16, plus the Section 5.1 cache fallback when C drains
-  // (in the unoptimized protocol C always retains w0, reported by every
-  // correct object's history[0], so the fallback never fires there and the
-  // cache is still bottom -- equivalent to the paper's two variants).
+  // Figure 6 lines 14-16, plus the Section 5.1 cache fallback when C drains.
+  // The fallback is sound for both variants: the cache is the last returned
+  // value, and any write completed before this read either exceeds it (then
+  // it is a candidate -- the mirrors cover everything above the cache -- and
+  // with >= S-t-b correct holders it cannot be invalidated, so C does not
+  // drain) or is covered by returning the cache itself.
   bool any_live = false;
   Ts max_ts = 0;
   for (const auto& cand : candidates_) {
@@ -236,6 +281,12 @@ void RegularReader::try_finish(net::Context& ctx) {
 void RegularReader::complete(net::Context& ctx, TsVal v, bool from_cache) {
   phase_ = Phase::Idle;
   cache_ = v;  // Section 5.1: remember the last returned value
+  // Reader-side GC mirroring the objects' watermark rule: slots below the
+  // cache can only ever matter as denials against candidates older than a
+  // value this reader already returned, and a missing slot denies too.
+  for (auto& mir : mirror_) {
+    mir.erase(mir.begin(), mir.lower_bound(cache_.ts));
+  }
   ReadResult result;
   result.tsval = std::move(v);
   result.rounds = 2;

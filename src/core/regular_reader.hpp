@@ -1,18 +1,22 @@
 // Reader automaton of the SWMR *regular* storage (paper Figure 6).
 //
 // Same two-round communication pattern as the safe reader, but objects reply
-// with their whole write *history* (Figure 5), and the value-selection
-// predicates become per-timestamp-slot:
+// with write-history *deltas* (Figure 5 + the Section 5.1 suffix idea driven
+// to its ack-based conclusion): the reader keeps a persistent per-object
+// history mirror, tells each object the top slot it has already merged
+// (HistReadMsg::have), and receives only the suffix past it. The
+// value-selection predicates are per-timestamp-slot over the mirrors:
 //   safe(c):    >= b+1 objects confirm slot c.ts with c's pair/tuple,
 //   invalid(c): >= t+b+1 objects deny slot c.ts (missing or mismatching).
 //
-// With `optimized` set (Section 5.1), the reader caches the last value it
-// returned and asks objects only for the history suffix from the cached
-// timestamp; if the candidate set drains, it falls back to the cache.
+// With `optimized` set (Section 5.1), the reader also sends the timestamp of
+// the last value it returned (cache_ts); objects treat max(have, cache_ts)
+// as the reader's acked floor. If the candidate set drains, the reader falls
+// back to the cache. Mirrors are pruned below the cache after every read, so
+// reader memory tracks the cache window, not the full history.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -41,11 +45,19 @@ class RegularReader : public ReaderClient {
     int round1_acks{0};
     int round2_acks{0};
     std::uint64_t history_slots_received{0};
+    std::uint64_t resyncs{0};  ///< flagged-resync replies merged (lifetime)
     int candidates_added{0};
     int candidates_removed{0};
     bool returned_from_cache{false};
   };
   [[nodiscard]] const Diag& diag() const { return diag_; }
+
+  /// Top history slot merged from object i (the `have` sent to it).
+  [[nodiscard]] Ts have(std::size_t i) const { return have_[i]; }
+  /// Persistent history mirror of object i (test/diagnostic access).
+  [[nodiscard]] const wire::History& mirror(std::size_t i) const {
+    return mirror_[i];
+  }
 
  private:
   enum class Phase { Idle, Round1, Round2 };
@@ -53,17 +65,24 @@ class RegularReader : public ReaderClient {
   struct Candidate {
     WTuple tuple;
     bool removed{false};
+    /// Any tsrarray entry for this reader above tsrFR (Figure 6 line 1's
+    /// accusation predicate, precomputed at insertion): only such a
+    /// candidate can ever induce a conflict edge, so round1_complete()
+    /// skips the graph entirely while none exists -- the common case.
+    bool accuses{false};
   };
 
   void handle_ack(net::Context& ctx, ProcessId from,
                   const wire::HistReadAckMsg& m);
-  void add_candidates_from(const wire::History& h);
+  void merge_delta(std::size_t i, const wire::HistReadAckMsg& m);
+  void add_candidates_from_mirror(std::size_t i);
   void sweep_removals();
 
-  /// The paper's history[rnd][i][ts] lookup; nullopt when object i has not
-  /// replied in round rnd. A reply without slot ts reads as <nil, nil>.
-  [[nodiscard]] const wire::History* replied_history(int rnd,
-                                                     std::size_t i) const;
+  /// Whether object i replied in the given round of the current read; the
+  /// paper's history[rnd][i] lookup, with the mirror standing in for the
+  /// shipped history (the mirror *is* what full-suffix shipping would have
+  /// delivered, accumulated incrementally).
+  [[nodiscard]] bool replied(int rnd, std::size_t i) const;
 
   [[nodiscard]] bool conflict(std::size_t i, std::size_t k) const;
   [[nodiscard]] bool round1_complete() const;
@@ -84,13 +103,15 @@ class RegularReader : public ReaderClient {
   // Persistent state.
   ReaderTs tsr_{0};
   TsVal cache_{TsVal::bottom()};  ///< last returned value (Section 5.1)
+  std::vector<wire::History> mirror_;  ///< per-object merged history
+  std::vector<Ts> have_;               ///< per-object top merged slot
 
   // Per-read state.
   Phase phase_{Phase::Idle};
   ReaderTs tsr_first_round_{0};
   Ts request_cache_ts_{0};  ///< cache.ts snapshot sent with this read
-  std::vector<std::optional<wire::History>> hist1_;
-  std::vector<std::optional<wire::History>> hist2_;
+  std::vector<std::uint8_t> replied1_;
+  std::vector<std::uint8_t> replied2_;
   std::vector<Candidate> candidates_;
   ReadCallback cb_;
   Time invoked_at_{0};

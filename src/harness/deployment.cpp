@@ -98,7 +98,7 @@ void Deployment::build() {
   // Base objects: honest, Byzantine impostor, or honest-then-crashed. In a
   // sharded deployment every object hosts one instance per register; a
   // Byzantine object is Byzantine in every register it serves.
-  const ObjectConfig ocfg{opts_.history_limit};
+  const ObjectConfig ocfg{opts_.history_limit, opts_.history_gc};
   for (int i = 0; i < res.num_objects; ++i) {
     const auto byz = opts_.faults.byzantine.find(i);
     const auto make_instance =

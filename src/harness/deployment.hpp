@@ -78,10 +78,13 @@ struct DeploymentOptions {
   /// Threads backend: swap-drain mailbox batching (default); false selects
   /// the per-message reference path (see BackendConfig).
   bool thread_batched_drain{true};
-  /// Regular-object history garbage collection: retain at most this many
-  /// slots (0 = unlimited, the paper's presentation). Only meaningful for
-  /// the Regular / RegularOptimized protocols.
+  /// Regular-object history hard cap: retain at most this many slots
+  /// (0 = unlimited, the paper's presentation). Only meaningful for the
+  /// Regular / RegularOptimized protocols.
   std::size_t history_limit{0};
+  /// Regular-object watermark GC (ack-driven safe-prefix collection); off
+  /// reproduces the paper's keep-everything objects, modulo the hard cap.
+  bool history_gc{true};
   /// Seeded per-channel link faults (loss / duplication / reorder). The
   /// rules' pid scopes are OBJECT indices here; build() rewrites them to
   /// physical pids via the layout before installing on the backend.

@@ -41,7 +41,8 @@ std::unique_ptr<core::ReaderClient> regular_reader(const Resilience& res,
 
 std::unique_ptr<net::Process> regular_object(const Topology& topo, int i,
                                              const ObjectConfig& cfg) {
-  return std::make_unique<objects::RegularObject>(topo, i, cfg.history_limit);
+  return std::make_unique<objects::RegularObject>(topo, i, cfg.history_limit,
+                                                  cfg.history_gc);
 }
 
 const std::vector<ProtocolTraits>& table() {

@@ -37,9 +37,12 @@ enum class Semantics { Safe, Regular, Atomic };
 
 /// Per-object build configuration passed to the object factories.
 struct ObjectConfig {
-  /// Regular-object history garbage collection: retain at most this many
-  /// slots (0 = unlimited, the paper's presentation).
+  /// Regular-object history hard cap: retain at most this many slots
+  /// (0 = unlimited, the paper's presentation).
   std::size_t history_limit{0};
+  /// Regular-object watermark GC: collect the prefix every reader has
+  /// acked (see RegularObject's retention-policy contract).
+  bool history_gc{true};
 };
 
 /// Everything the harness knows about one protocol family. A registry

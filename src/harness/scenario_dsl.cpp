@@ -354,6 +354,25 @@ ScenarioParseResult parse_scenario(std::string_view text) {
       if (tokens.size() != 2 || !parse_u64(tokens[1], &s.run_seed)) {
         return fail(line_no, "want: runseed <u64>");
       }
+    } else if (directive == "history") {
+      const KvArgs kv(tokens, 1);
+      if (!kv.bad.empty()) return fail(line_no, "stray token '" + kv.bad +
+                                                    "'");
+      if (const auto k = kv.unknown_key({"limit", "gc"}); !k.empty()) {
+        return fail(line_no, "unknown key '" + k + "'");
+      }
+      if (const auto* v = kv.find("limit")) {
+        std::uint64_t limit = 0;
+        if (!parse_u64(*v, &limit) || limit == 1) {
+          return fail(line_no, "bad limit (want 0 = unlimited, or >= 2)");
+        }
+        s.history_limit = static_cast<std::size_t>(limit);
+      }
+      if (const auto* v = kv.find("gc")) {
+        if (*v == "on") s.history_gc = true;
+        else if (*v == "off") s.history_gc = false;
+        else return fail(line_no, "bad gc (want on|off)");
+      }
     } else if (directive == "fault") {
       if (tokens.size() < 2) return fail(line_no, "want: fault <kind> ...");
       const std::string& kind = tokens[1];
@@ -631,6 +650,14 @@ std::string emit_scenario(const Scenario& s) {
   if (!s.expect_ok) line("expect fail");
   if (s.max_wall_ms != 0) line("deadline " + std::to_string(s.max_wall_ms));
   if (s.run_seed != 0) line("runseed " + std::to_string(s.run_seed));
+  // Emitted only when off-default, so pre-existing scenario files (and
+  // their emitted forms) stay byte-identical.
+  if (s.history_limit != 0 || !s.history_gc) {
+    std::string l = "history";
+    if (s.history_limit != 0) l += " limit=" + std::to_string(s.history_limit);
+    if (!s.history_gc) l += " gc=off";
+    line(l);
+  }
 
   for (const auto& ev : s.events) {
     switch (ev.kind) {

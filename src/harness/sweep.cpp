@@ -435,6 +435,8 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
                          0x5eedull);
   opts.trace_fingerprint = s.backend == BackendKind::Sim;
   opts.thread_max_wall_ms = s.max_wall_ms;
+  opts.history_limit = s.history_limit;
+  opts.history_gc = s.history_gc;
   opts.link_faults.seed = fold(opts.seed, 0x11f5ULL);
   for (const auto& ev : s.events) {
     switch (ev.kind) {
@@ -637,6 +639,11 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
     fp = fold(fp, v.net.messages_delivered);
     fp = fold(fp, v.net.messages_dropped);
     fp = fold(fp, v.net.bytes_sent);
+    // History-shipping counters exist only on the regular protocols; fold
+    // them only when nonzero so every other protocol's golden fingerprints
+    // are untouched by their introduction.
+    if (v.net.hist_slots_shipped != 0) fp = fold(fp, v.net.hist_slots_shipped);
+    if (v.net.hist_resyncs != 0) fp = fold(fp, v.net.hist_resyncs);
     v.fingerprint = fp;
   }
   return v;

@@ -150,6 +150,11 @@ struct Scenario {
   /// legacy rule); materialize() pins the derived value so an emitted
   /// scenario file replays bit-identically to its grid twin.
   std::uint64_t run_seed{0};
+  /// Regular-object history retention (Regular / RegularOptimized only):
+  /// hard cap on retained slots (0 = unlimited) and the ack-driven
+  /// watermark GC toggle. See DeploymentOptions::history_limit/history_gc.
+  std::size_t history_limit{0};
+  bool history_gc{true};
 
   /// Canonical cell address: "protocol:backend:template:seed", or
   /// "scn:<name>" when named.

@@ -29,6 +29,12 @@ struct NetStats {
   std::uint64_t messages_reordered{0};
   std::array<std::uint64_t, kNumTypes> messages_by_type{};
   std::array<std::uint64_t, kNumTypes> bytes_by_type{};
+  // Regular-storage history shipping (zero for every other protocol):
+  // slots carried by HIST_ACK replies, and how many of those replies were
+  // flagged resyncs (hard-capped object evicted past a live reader's
+  // watermark). Both backends account these at the same send boundary.
+  std::uint64_t hist_slots_shipped{0};
+  std::uint64_t hist_resyncs{0};
 };
 
 }  // namespace rr::net

@@ -1,12 +1,17 @@
 #include "objects/regular_object.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace rr::objects {
 
 RegularObject::RegularObject(const Topology& topo, int object_index,
-                             std::size_t history_limit)
-    : topo_(topo), index_(object_index), history_limit_(history_limit) {
+                             std::size_t history_limit, bool history_gc)
+    : topo_(topo),
+      index_(object_index),
+      history_limit_(history_limit),
+      history_gc_(history_gc) {
   RR_ASSERT_MSG(history_limit == 0 || history_limit >= 2,
                 "a write needs two live slots (ts and ts-1)");
   // Figure 5 line 1: history[0] = <pw0, <pw0, inittsrarray>> -- the initial
@@ -15,6 +20,7 @@ RegularObject::RegularObject(const Topology& topo, int object_index,
   st_.history[0] =
       wire::HistEntry{TsVal::bottom(), initial_wtuple(s)};
   st_.tsr.assign(static_cast<std::size_t>(topo.num_readers()), 0);
+  acked_.assign(static_cast<std::size_t>(topo.num_readers()), 0);
 }
 
 void RegularObject::on_message(net::Context& ctx, ProcessId from,
@@ -23,7 +29,7 @@ void RegularObject::on_message(net::Context& ctx, ProcessId from,
     handle_pw(ctx, from, *pw);
   } else if (const auto* w = std::get_if<wire::WMsg>(&msg)) {
     handle_w(ctx, from, *w);
-  } else if (const auto* rd = std::get_if<wire::ReadMsg>(&msg)) {
+  } else if (const auto* rd = std::get_if<wire::HistReadMsg>(&msg)) {
     handle_read(ctx, from, *rd);
   }
 }
@@ -37,9 +43,9 @@ void RegularObject::handle_pw(net::Context& ctx, ProcessId from,
   // pre-write and completes slot ts'-1 with the previous write's full tuple
   // (m.w), so objects that missed the W round of ts'-1 still learn it.
   if (m.ts > st_.ts) {
-    st_.history[m.ts] = wire::HistEntry{m.pw, std::nullopt};
+    st_.history.put_pw(m.ts, m.pw);
     if (m.ts >= 1) {
-      st_.history[m.ts - 1] = wire::HistEntry{m.w.tsval, m.w};
+      st_.history.put_w(m.ts - 1, m.w.tsval, m.w);
     }
     st_.ts = m.ts;
     prune_history();
@@ -53,17 +59,26 @@ void RegularObject::handle_w(net::Context& ctx, ProcessId from,
   // Figure 5 lines 10-14.
   if (m.ts >= st_.ts) {
     st_.ts = m.ts;
-    st_.history[m.ts] = wire::HistEntry{m.pw, m.w};
+    st_.history.put_w(m.ts, m.pw, m.w);
     prune_history();
     ctx.send(from, wire::WAckMsg{st_.ts});
   }
 }
 
 void RegularObject::prune_history() {
-  if (history_limit_ == 0) return;
-  if (st_.history.size() > history_limit_) {
-    // One range erase (single shift of the kept suffix) instead of
-    // erasing the front slot-by-slot.
+  // Watermark GC: everything strictly below every reader's acked floor has
+  // been merged into every reader's mirror, so shipping can never need it
+  // again; clamp to ts-1 so the two slots a write mutates stay live. With
+  // no readers the min over an empty set is the clamp itself.
+  if (history_gc_ && !st_.history.empty()) {
+    Ts keep = st_.ts >= 1 ? st_.ts - 1 : 0;
+    for (const Ts a : acked_) keep = std::min(keep, a);
+    st_.history.erase(st_.history.begin(), st_.history.lower_bound(keep));
+  }
+  // Hard cap: a reader that never acks (crashed, Byzantine, or simply not
+  // reading) cannot wedge memory. This MAY evict past a live watermark;
+  // handle_read answers the affected reader with a flagged resync.
+  if (history_limit_ != 0 && st_.history.size() > history_limit_) {
     st_.history.erase(st_.history.begin(),
                       st_.history.end() -
                           static_cast<std::ptrdiff_t>(history_limit_));
@@ -71,22 +86,42 @@ void RegularObject::prune_history() {
 }
 
 void RegularObject::handle_read(net::Context& ctx, ProcessId from,
-                                const wire::ReadMsg& m) {
+                                const wire::HistReadMsg& m) {
   if (topo_.role_of(from) != Role::Reader) return;
   const auto j = static_cast<std::size_t>(topo_.reader_index(from));
   if (j >= st_.tsr.size()) return;
-  // Figure 5 lines 15-19, with the Section 5.1 suffix optimization: ship
-  // only history slots >= the reader's cached timestamp (cache_ts = 0 means
-  // the full history).
+  // Figure 5 lines 15-19, with ack-driven delta shipping: the reader's
+  // floor is max(have, cache_ts) -- everything below it is already in its
+  // mirror (have) or irrelevant to it (cache_ts) -- and doubles as its
+  // acked watermark for prefix GC. The floor is inclusive: the top slot can
+  // still mutate (its w fills in), so it always re-ships.
   if (m.tsr > st_.tsr[j]) {
     st_.tsr[j] = m.tsr;
+    const Ts floor = std::max(m.have, m.cache_ts);
+    acked_[j] = std::max(acked_[j], floor);
+    prune_history();
     wire::HistReadAckMsg ack;
     ack.round = m.round;
     ack.tsr = st_.tsr[j];
+    const Ts oldest =
+        st_.history.empty() ? 0 : st_.history.begin()->first;
+    if (oldest > floor) {
+      // The hard cap evicted slots the reader still needed: explicit
+      // flagged resync from our oldest retained slot, never a silently
+      // shortened delta.
+      ack.since = oldest;
+      ack.resync = 1;
+      ++resyncs_;
+    } else {
+      ack.since = floor;
+    }
     // One binary search + one bulk copy of the suffix range (the history is
-    // a sorted flat vector).
-    ack.history = wire::History(st_.history.lower_bound(m.cache_ts),
+    // a sorted flat ring).
+    ack.history = wire::History(st_.history.lower_bound(ack.since),
                                 st_.history.end());
+    // The shipped suffix covers [since, ts] gap-free by construction; a
+    // suffix that starts above the requested floor must be flagged.
+    RR_ASSERT(ack.resync == 1 || ack.since <= floor);
     ctx.send(from, std::move(ack));
   }
 }

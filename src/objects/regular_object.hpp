@@ -1,10 +1,15 @@
 // Base object automaton of the SWMR *regular* storage (paper Figure 5).
 //
-// Unlike the safe object, the regular object keeps the entire history of
-// values received from the writer, keyed by writer timestamp. Readers
-// receive the history (or, with the Section 5.1 optimization, the suffix
-// from their cached timestamp onwards).
+// Unlike the safe object, the regular object keeps the history of values
+// received from the writer, keyed by writer timestamp. Readers receive
+// history *deltas*: each HIST_READ carries the reader's acked watermark
+// (Section 5.1's cache_ts plus the top slot it already merged), the object
+// ships only the suffix past it, and the acked prefix becomes eligible for
+// garbage collection.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 #include "net/process.hpp"
@@ -22,19 +27,26 @@ class RegularObject : public net::Process {
     friend bool operator==(const State&, const State&) = default;
   };
 
-  /// `history_limit` bounds the number of retained history slots (0 =
-  /// unlimited, the paper's presentation). The paper notes that keeping the
-  /// entire history "might raise issues of storage exhaustion and needs
-  /// careful garbage collection"; this implements the simple sound policy:
-  /// prune oldest-first, always keeping the `history_limit` newest slots.
-  /// Regularity is preserved because (a) the newest slots -- including the
-  /// last completed write every correct quorum holds -- are never pruned,
-  /// and (b) a pruned slot only adds invalid() denials against *old*
-  /// candidates, steering reads towards newer written values, which
-  /// condition (2) always permits. Must be 0 or >= 2 (a write transiently
-  /// occupies two slots: ts and ts-1).
+  /// History retention policy.
+  ///
+  /// `history_gc` (default on) is the watermark rule: a prefix is
+  /// collectible once min(acked watermark over all readers, ts-1) passes
+  /// it. A reader's watermark is the floor of its last HIST_READ
+  /// (max(have, cache_ts)): everything below it has provably been merged
+  /// into that reader's mirror, so evicting it can never punch a hole into
+  /// a future delta. Regularity is preserved for the same reason the
+  /// Section 5.1 suffix optimization is sound: a missing slot only adds
+  /// invalid() denials against *old* candidates, steering reads towards
+  /// newer written values.
+  ///
+  /// `history_limit` is the hard cap on retained slots (0 = unlimited): a
+  /// crashed or Byzantine reader that never acks cannot wedge memory. The
+  /// cap MAY evict past a live reader's watermark; when that reader asks
+  /// for the evicted suffix the object answers with an explicit flagged
+  /// resync (HistReadAckMsg::resync), never a silently-shortened delta.
+  /// Must be 0 or >= 2 (a write transiently occupies two slots: ts, ts-1).
   RegularObject(const Topology& topo, int object_index,
-                std::size_t history_limit = 0);
+                std::size_t history_limit = 0, bool history_gc = true);
 
   void on_message(net::Context& ctx, ProcessId from,
                   const wire::Message& msg) override;
@@ -47,16 +59,26 @@ class RegularObject : public net::Process {
   /// the Section 5.1 discussion).
   [[nodiscard]] std::size_t history_size() const { return st_.history.size(); }
 
+  /// Per-reader acked watermarks (floor of each reader's last HIST_READ);
+  /// monotone, exposed for tests and diagnostics.
+  [[nodiscard]] const std::vector<Ts>& acked() const { return acked_; }
+  /// Count of flagged resyncs served (hard cap evicted past a watermark).
+  [[nodiscard]] std::uint64_t resyncs_served() const { return resyncs_; }
+
  private:
   void handle_pw(net::Context& ctx, ProcessId from, const wire::PwMsg& m);
   void handle_w(net::Context& ctx, ProcessId from, const wire::WMsg& m);
-  void handle_read(net::Context& ctx, ProcessId from, const wire::ReadMsg& m);
+  void handle_read(net::Context& ctx, ProcessId from,
+                   const wire::HistReadMsg& m);
   void prune_history();
 
   Topology topo_;
   int index_;
   std::size_t history_limit_;
+  bool history_gc_;
   State st_;
+  std::vector<Ts> acked_;  ///< per-reader watermark, indexed like st_.tsr
+  std::uint64_t resyncs_{0};
 };
 
 }  // namespace rr::objects

@@ -249,6 +249,8 @@ net::NetStats Cluster::stats() const {
     total.messages_lost += s.messages_lost;
     total.messages_duplicated += s.messages_duplicated;
     total.messages_reordered += s.messages_reordered;
+    total.hist_slots_shipped += s.hist_slots_shipped;
+    total.hist_resyncs += s.hist_resyncs;
     for (std::size_t i = 0; i < net::NetStats::kNumTypes; ++i) {
       total.messages_by_type[i] += s.messages_by_type[i];
       total.bytes_by_type[i] += s.bytes_by_type[i];
@@ -504,6 +506,10 @@ void Cluster::route(ProcessId from, ProcessId to, wire::Message msg) {
     const std::size_t n = wire::encoded_size(msg);
     sent.bytes_sent += n;
     sent.bytes_by_type[msg.index()] += n;
+  }
+  if (const auto* ha = std::get_if<wire::HistReadAckMsg>(&msg)) {
+    sent.hist_slots_shipped += ha->history.size();
+    sent.hist_resyncs += ha->resync;
   }
   if (crashed(from) || crashed(to)) {
     sent.messages_dropped++;

@@ -270,6 +270,10 @@ void World::do_send(ProcessId from, ProcessId to, wire::Message msg) {
     stats_.bytes_sent += n;
     stats_.bytes_by_type[msg.index()] += n;
   }
+  if (const auto* ha = std::get_if<wire::HistReadAckMsg>(&msg)) {
+    stats_.hist_slots_shipped += ha->history.size();
+    stats_.hist_resyncs += ha->resync;
+  }
   // Link faults fire at send time, before hold buffering, so a held channel
   // still loses/duplicates traffic. Draw order is fixed (loss, then
   // duplicate, then per-copy reorder at scheduling) from the dedicated

@@ -290,9 +290,23 @@ void put_body(W& w, const HistReadAckMsg& m) {
   w.u8(m.round);
   w.u64(m.tsr);
   put(w, m.history);
+  w.u64(m.since);
+  w.u8(m.resync);
 }
 bool get_body(ByteReader& r, HistReadAckMsg& m) {
-  return r.u8(m.round) && r.u64(m.tsr) && get(r, m.history);
+  return r.u8(m.round) && r.u64(m.tsr) && get(r, m.history) &&
+         r.u64(m.since) && r.u8(m.resync);
+}
+
+template <class W>
+void put_body(W& w, const HistReadMsg& m) {
+  w.u8(m.round);
+  w.u64(m.tsr);
+  w.u64(m.cache_ts);
+  w.u64(m.have);
+}
+bool get_body(ByteReader& r, HistReadMsg& m) {
+  return r.u8(m.round) && r.u64(m.tsr) && r.u64(m.cache_ts) && r.u64(m.have);
 }
 
 template <class W>
@@ -487,7 +501,7 @@ const char* type_name(const Message& m) {
       "BL_WRITE",  "BL_WRITE_ACK", "FW_WRITE", "FW_WRITE_ACK",
       "POLL",      "POLL_ACK",
       "AUTH_WRITE", "AUTH_WRITE_ACK", "AUTH_READ", "AUTH_READ_ACK",
-      "SC_READ",   "SC_PUSH",     "SC_GOSSIP",  "SHARD"};
+      "SC_READ",   "SC_PUSH",     "SC_GOSSIP",  "SHARD",     "HIST_READ"};
   static_assert(std::variant_size_v<Message> ==
                 sizeof(kNames) / sizeof(kNames[0]));
   return kNames[m.index()];

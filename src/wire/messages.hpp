@@ -12,11 +12,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -95,13 +97,22 @@ struct HistEntry {
 
 /// Ordered write history (keyed by writer timestamp).
 ///
-/// Stored as a sorted flat vector searched by binary search: histories are
+/// Stored as a sorted flat ring searched by binary search: the slots live in
+/// a flat vector whose live range is [head_, v_.size()). Histories are
 /// copied into every HIST_ACK and moved through the simulator on every
 /// delivery, so the contiguous layout (one allocation, cache-linear scans,
 /// O(1) moves) is the hot-path representation. The interface mirrors the
 /// std::map subset the protocol code uses; writes keep the vector sorted.
-/// Appending at the back (the writer's monotonically increasing timestamps,
-/// i.e. the common case) is amortized O(1).
+///
+/// The ring exists for the steady state of a garbage-collected regular
+/// object (append at the back, collect at the front, forever):
+///   - erasing a prefix advances `head_` -- O(erased), the retained suffix
+///     never moves -- and *parks* the erased slots' payloads;
+///   - appending prefers a parked payload over a fresh allocation, and when
+///     the buffer fills it compacts the dead prefix away instead of growing,
+///   so a bounded history appends without allocating or copying retained
+///   slots. put_pw/put_w/merge additionally reuse the parked string/vector
+///   capacity *inside* payloads, which is where the real bytes live.
 class History {
  public:
   using value_type = std::pair<Ts, HistEntry>;
@@ -116,21 +127,41 @@ class History {
   /// ship history suffixes, Section 5.1).
   History(const_iterator first, const_iterator last) : v_(first, last) {}
 
-  [[nodiscard]] std::size_t size() const { return v_.size(); }
-  [[nodiscard]] bool empty() const { return v_.empty(); }
-  void clear() { v_.clear(); }
+  // Value semantics see only the live slots: copies drop the dead prefix
+  // and the recycling pools, moves carry the whole arena.
+  History(const History& o) : v_(o.begin(), o.end()) {}
+  History(History&&) noexcept = default;
+  History& operator=(const History& o) {
+    if (this != &o) {
+      head_ = 0;
+      v_.assign(o.begin(), o.end());
+    }
+    return *this;
+  }
+  History& operator=(History&&) noexcept = default;
+  ~History() = default;
 
-  [[nodiscard]] iterator begin() { return v_.begin(); }
+  [[nodiscard]] std::size_t size() const { return v_.size() - head_; }
+  [[nodiscard]] bool empty() const { return v_.size() == head_; }
+  void clear() {
+    for (auto it = v_.begin() + live_off(); it != v_.end(); ++it) {
+      spare_.push_back(std::move(it->second));
+    }
+    v_.clear();
+    head_ = 0;
+  }
+
+  [[nodiscard]] iterator begin() { return v_.begin() + live_off(); }
   [[nodiscard]] iterator end() { return v_.end(); }
-  [[nodiscard]] const_iterator begin() const { return v_.begin(); }
+  [[nodiscard]] const_iterator begin() const { return v_.begin() + live_off(); }
   [[nodiscard]] const_iterator end() const { return v_.end(); }
 
   /// First slot with timestamp >= ts.
   [[nodiscard]] iterator lower_bound(Ts ts) {
-    return std::lower_bound(v_.begin(), v_.end(), ts, KeyLess{});
+    return std::lower_bound(begin(), end(), ts, KeyLess{});
   }
   [[nodiscard]] const_iterator lower_bound(Ts ts) const {
-    return std::lower_bound(v_.begin(), v_.end(), ts, KeyLess{});
+    return std::lower_bound(begin(), end(), ts, KeyLess{});
   }
 
   [[nodiscard]] iterator find(Ts ts) {
@@ -145,13 +176,9 @@ class History {
 
   /// Entry at slot `ts`, inserted (default-constructed) if absent.
   HistEntry& operator[](Ts ts) {
-    if (v_.empty() || ts > v_.back().first) {  // append fast path
-      v_.emplace_back(ts, HistEntry{});
-      return v_.back().second;
-    }
-    auto it = lower_bound(ts);
-    if (it != v_.end() && it->first == ts) return it->second;
-    return v_.emplace(it, ts, HistEntry{})->second;
+    auto [e, created] = upsert(ts);
+    if (created) reset_entry(*e);  // recycled slots carry stale payloads
+    return *e;
   }
 
   [[nodiscard]] const HistEntry& at(Ts ts) const {
@@ -163,39 +190,153 @@ class History {
   /// Inserts <ts, entry> unless the slot already exists (std::map::emplace
   /// semantics); returns whether the insertion happened.
   bool emplace(Ts ts, HistEntry entry) {
-    if (v_.empty() || ts > v_.back().first) {  // append fast path
-      v_.emplace_back(ts, std::move(entry));
-      return true;
-    }
-    auto it = lower_bound(ts);
-    if (it != v_.end() && it->first == ts) return false;
-    v_.emplace(it, ts, std::move(entry));
+    auto [e, created] = upsert(ts);
+    if (!created) return false;
+    reset_entry(*e);
+    *e = std::move(entry);
     return true;
   }
 
-  iterator erase(const_iterator pos) { return v_.erase(pos); }
-  /// Removes [first, last) with a single shift of the kept suffix (used by
-  /// history garbage collection to prune the oldest slots in one move).
+  /// Writer PW round: slot `ts` becomes <pw, nil>. The previous occupant's
+  /// w-tuple (recycled slot or overwrite) is parked, not destroyed, and the
+  /// pw assignment reuses the slot's string capacity: steady-state writes
+  /// allocate nothing.
+  void put_pw(Ts ts, const TsVal& pw) {
+    auto [e, created] = upsert(ts);
+    (void)created;
+    if (!e->pw) e->pw.emplace();
+    *e->pw = pw;
+    if (e->w) {
+      wspare_.push_back(std::move(*e->w));
+      e->w.reset();
+    }
+  }
+
+  /// Completed slot: `ts` becomes <pw, w>, reusing parked w-tuple capacity
+  /// when the slot's w is nil (the PW->W transition of the current write).
+  void put_w(Ts ts, const TsVal& pw, const WTuple& w) {
+    auto [e, created] = upsert(ts);
+    (void)created;
+    if (!e->pw) e->pw.emplace();
+    *e->pw = pw;
+    if (!e->w) {
+      if (!wspare_.empty()) {
+        e->w.emplace(std::move(wspare_.back()));
+        wspare_.pop_back();
+      } else {
+        e->w.emplace();
+      }
+    }
+    *e->w = w;
+  }
+
+  /// Monotone slot-wise union, used by reader-side history mirrors: every
+  /// slot of `delta` is copied in, but an engaged field is never replaced
+  /// by nil. A slot's pw is immutable and its w only ever fills in under
+  /// the (correct, SWMR) writer, so a regression can only come from a stale
+  /// or replayed delta and must not punch holes into the mirror.
+  void merge(const History& delta) {
+    for (const auto& [ts, src] : delta) {
+      auto [e, created] = upsert(ts);
+      if (created) reset_entry(*e);
+      if (src.pw) {
+        if (!e->pw) e->pw.emplace();
+        *e->pw = *src.pw;
+      }
+      if (src.w) {
+        if (!e->w) {
+          if (!wspare_.empty()) {
+            e->w.emplace(std::move(wspare_.back()));
+            wspare_.pop_back();
+          } else {
+            e->w.emplace();
+          }
+        }
+        *e->w = *src.w;
+      }
+    }
+  }
+
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+  /// Removes [first, last). A prefix erase (the GC case) parks the payloads
+  /// and advances the head: O(erased), the retained suffix never moves.
   iterator erase(const_iterator first, const_iterator last) {
+    if (first == last) return v_.begin() + (first - v_.cbegin());
+    if (first == v_.cbegin() + live_off()) {
+      auto f = v_.begin() + (first - v_.cbegin());
+      auto l = v_.begin() + (last - v_.cbegin());
+      for (auto it = f; it != l; ++it) spare_.push_back(std::move(it->second));
+      head_ = static_cast<std::size_t>(l - v_.begin());
+      return l;
+    }
     return v_.erase(first, last);
   }
 
-  friend bool operator==(const History&, const History&) = default;
+  friend bool operator==(const History& a, const History& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
 
  private:
   struct KeyLess {
     bool operator()(const value_type& e, Ts ts) const { return e.first < ts; }
   };
 
-  std::vector<value_type> v_;
+  [[nodiscard]] std::ptrdiff_t live_off() const {
+    return static_cast<std::ptrdiff_t>(head_);
+  }
+
+  /// Returns the slot for `ts`, creating it if absent; a *created* slot may
+  /// carry a recycled payload with stale fields that the caller must set.
+  std::pair<HistEntry*, bool> upsert(Ts ts) {
+    if (empty() || ts > v_.back().first) return {&append_slot(ts), true};
+    auto it = lower_bound(ts);
+    if (it != v_.end() && it->first == ts) return {&it->second, false};
+    it = v_.emplace(it, ts, HistEntry{});  // out-of-order insert: rare
+    return {&it->second, true};
+  }
+
+  HistEntry& append_slot(Ts ts) {
+    if (v_.size() == v_.capacity() && head_ > 0) {
+      // Out of room, but the buffer has a dead prefix: compact it away
+      // (O(live) moves, no allocation) instead of growing.
+      v_.erase(v_.begin(), v_.begin() + live_off());
+      head_ = 0;
+    }
+    if (!spare_.empty()) {
+      v_.emplace_back(ts, std::move(spare_.back()));
+      spare_.pop_back();
+    } else {
+      v_.emplace_back(ts, HistEntry{});
+    }
+    return v_.back().second;
+  }
+
+  void reset_entry(HistEntry& e) {
+    e.pw.reset();
+    if (e.w) {
+      wspare_.push_back(std::move(*e.w));
+      e.w.reset();
+    }
+  }
+
+  std::vector<value_type> v_;  ///< slots; the live range is [head_, size())
+  std::size_t head_ = 0;       ///< dead-prefix length (front-erased slots)
+  std::vector<HistEntry> spare_;  ///< parked slot payloads, reused on append
+  std::vector<WTuple> wspare_;    ///< parked w-tuples (slots reverting to nil)
 };
 
-/// Object's reply in the *regular* storage: the history (or the suffix from
-/// the reader's cached timestamp onwards, Section 5.1).
+/// Object's reply in the *regular* storage: the history suffix from `since`
+/// onwards (Section 5.1, extended to ack-driven deltas -- see HistReadMsg).
+/// `resync` is set when garbage collection evicted slots the reader asked
+/// for, i.e. the suffix starts *above* the requested floor: the reader must
+/// drop its mirror of this object and rebuild from this reply instead of
+/// silently treating the hole as denials.
 struct HistReadAckMsg {
   std::uint8_t round{1};
   ReaderTs tsr{};
   History history{};
+  Ts since{0};             ///< first slot the shipped suffix covers
+  std::uint8_t resync{0};  ///< 1 = GC evicted past the requested floor
   friend bool operator==(const HistReadAckMsg&, const HistReadAckMsg&) = default;
 };
 
@@ -356,12 +497,49 @@ struct ShardMsg {
 
 // ---------------------------------------------------------------------------
 
+/// Reader round k in {1,2} of the *regular* storage. Replaces ReadMsg for
+/// regular reads (ReadMsg stays the safe-storage request, byte-identical to
+/// before): on top of the Section 5.1 `cache_ts`, the reader reports `have`,
+/// the top slot of the history mirror it has already merged from this
+/// object. The object ships only slots >= max(have, cache_ts) -- inclusive,
+/// because the top slot can still mutate (its w fills in) while everything
+/// below the object's write timestamp is frozen -- and treats that floor as
+/// the reader's acked watermark for prefix garbage collection. A lost reply
+/// self-heals: the reader's `have` stays low, so the next round re-ships.
+struct HistReadMsg {
+  std::uint8_t round{1};
+  ReaderTs tsr{};
+  Ts cache_ts{0};  ///< Section 5.1 cached timestamp (0 = no cache)
+  Ts have{0};      ///< top history slot already merged from this object
+  friend bool operator==(const HistReadMsg&, const HistReadMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+
+// New alternatives go at the END: the codec tag and the NetStats per-type
+// indices are the variant index, so appending preserves every existing
+// wire byte and accounting slot.
 using Message = std::variant<
     PwMsg, PwAckMsg, WMsg, WAckMsg, ReadMsg, ReadAckMsg, HistReadAckMsg,
     AbdStoreMsg, AbdStoreAckMsg, AbdQueryMsg, AbdQueryAckMsg,
     BlWriteMsg, BlWriteAckMsg, FwWriteMsg, FwWriteAckMsg, PollMsg, PollAckMsg,
     AuthWriteMsg, AuthWriteAckMsg, AuthReadMsg, AuthReadAckMsg,
-    ScReadMsg, ScPushMsg, ScGossipMsg, ShardMsg>;
+    ScReadMsg, ScPushMsg, ScGossipMsg, ShardMsg, HistReadMsg>;
+
+/// Compile-time variant index of a Message alternative. The canonical way
+/// to index NetStats::messages_by_type / bytes_by_type: codec tags equal
+/// variant indices, so a hardcoded integer would silently misattribute
+/// bytes after a variant reorder.
+template <class T, std::size_t I = 0>
+[[nodiscard]] constexpr std::size_t message_index() {
+  static_assert(I < std::variant_size_v<Message>,
+                "T is not a Message alternative");
+  if constexpr (std::is_same_v<std::variant_alternative_t<I, Message>, T>) {
+    return I;
+  } else {
+    return message_index<T, I + 1>();
+  }
+}
 
 /// Human-readable tag, for traces and test failure messages.
 [[nodiscard]] const char* type_name(const Message& m);

@@ -162,7 +162,7 @@ TEST(RegularFlavor, ForgerFabricatesHistorySlot) {
   Fixture f;
   auto obj = f.make(StrategyKind::Forger, Flavor::Regular);
   f.deliver(*obj, f.topo.writer(), f.pw_msg(2));
-  auto out = f.deliver(*obj, f.topo.reader(0), wire::ReadMsg{1, 1, 0});
+  auto out = f.deliver(*obj, f.topo.reader(0), wire::HistReadMsg{1, 1, 0, 0});
   ASSERT_EQ(out.size(), 1u);
   const auto& ack = std::get<wire::HistReadAckMsg>(out[0].msg);
   bool has_fake = false;
@@ -234,8 +234,8 @@ TEST(AllStrategies, WireMessagesAreWellFormed) {
                               Flavor::Auth, Flavor::Abd}) {
       auto obj = make_byzantine(kind, flavor, f.topo, f.res, 0);
       std::vector<wire::Message> requests = {
-          f.pw_msg(1), wire::ReadMsg{1, 1, 0}, wire::PollMsg{1, 1},
-          wire::AuthReadMsg{1}, wire::AbdQueryMsg{1}};
+          f.pw_msg(1), wire::ReadMsg{1, 1, 0}, wire::HistReadMsg{1, 2, 0, 0},
+          wire::PollMsg{1, 1}, wire::AuthReadMsg{1}, wire::AbdQueryMsg{1}};
       for (const auto& req : requests) {
         for (const auto& out : f.deliver(*obj, f.topo.reader(0), req)) {
           SCOPED_TRACE(to_string(kind));

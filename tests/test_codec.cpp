@@ -53,8 +53,15 @@ std::vector<Message> all_message_samples() {
       ScPushMsg{15, 3, TsVal{2, "s"}, TsVal{2, "s"}},
       ScGossipMsg{9, TsVal{9, "g"}, TsVal{8, "g8"}},
       ShardMsg{3, encode(Message{WAckMsg{5}})},
+      HistReadMsg{1, 79, 5, 8},
   };
 }
+
+// The registry-derived index helper must agree with the variant layout the
+// codec tags are built from (benches key JSON per-type stats off it).
+static_assert(message_index<PwMsg>() == 0);
+static_assert(message_index<HistReadAckMsg>() == 6);
+static_assert(message_index<HistReadMsg>() == std::variant_size_v<Message> - 1);
 
 TEST(CodecTest, RoundTripsEveryMessageType) {
   const auto samples = all_message_samples();
@@ -214,7 +221,8 @@ Message random_message(std::size_t variant, Rng& rng) {
     case 3: return WAckMsg{u64v()};
     case 4: return ReadMsg{u8v(), u64v(), u64v()};
     case 5: return ReadAckMsg{u8v(), u64v(), random_tsval(rng), random_wtuple(rng)};
-    case 6: return HistReadAckMsg{u8v(), u64v(), random_history(rng)};
+    case 6:
+      return HistReadAckMsg{u8v(), u64v(), random_history(rng), u64v(), u8v()};
     case 7: return AbdStoreMsg{u64v(), random_tsval(rng)};
     case 8: return AbdStoreAckMsg{u64v()};
     case 9: return AbdQueryMsg{u64v()};
@@ -233,13 +241,14 @@ Message random_message(std::size_t variant, Rng& rng) {
     case 22: return ScPushMsg{u64v(), u32v(), random_tsval(rng), random_tsval(rng)};
     case 23: return ScGossipMsg{u64v(), random_tsval(rng), random_tsval(rng)};
     case 24: return ShardMsg{u32v(), random_value(rng)};
+    case 25: return HistReadMsg{u8v(), u64v(), u64v(), u64v()};
     default: break;
   }
   return WAckMsg{0};
 }
 
 TEST(CodecTest, EncodedSizePropertyAllVariants) {
-  static_assert(std::variant_size_v<Message> == 25);
+  static_assert(std::variant_size_v<Message> == 26);
   Rng rng(424242);
   for (std::size_t variant = 0; variant < std::variant_size_v<Message>;
        ++variant) {

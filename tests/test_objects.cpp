@@ -222,10 +222,12 @@ TEST(RegularObjectTest, ReadReturnsFullHistoryByDefault) {
     f.deliver(obj, f.topo.writer(),
               wire::WMsg{k, TsVal{k, "v"}, f.tuple(k, "v")});
   }
-  auto out = f.deliver(obj, f.topo.reader(0), wire::ReadMsg{1, 1, 0});
+  auto out = f.deliver(obj, f.topo.reader(0), wire::HistReadMsg{1, 1, 0, 0});
   ASSERT_EQ(out.size(), 1u);
   const auto& ack = std::get<wire::HistReadAckMsg>(out[0].msg);
   EXPECT_EQ(ack.history.size(), 4u);  // 0..3
+  EXPECT_EQ(ack.since, 0u);
+  EXPECT_EQ(ack.resync, 0u);
 }
 
 TEST(RegularObjectTest, SuffixRequestTrimsHistory) {
@@ -236,12 +238,32 @@ TEST(RegularObjectTest, SuffixRequestTrimsHistory) {
     f.deliver(obj, f.topo.writer(),
               wire::WMsg{k, TsVal{k, "v"}, f.tuple(k, "v")});
   }
-  auto out = f.deliver(obj, f.topo.reader(0), wire::ReadMsg{1, 1, 2});
+  auto out = f.deliver(obj, f.topo.reader(0), wire::HistReadMsg{1, 1, 2, 0});
   const auto& ack = std::get<wire::HistReadAckMsg>(out[0].msg);
   EXPECT_EQ(ack.history.size(), 3u);  // slots 2, 3, 4
   EXPECT_FALSE(ack.history.contains(0));
   EXPECT_FALSE(ack.history.contains(1));
   EXPECT_TRUE(ack.history.contains(2));
+  EXPECT_EQ(ack.since, 2u);
+}
+
+TEST(RegularObjectTest, AckedWatermarkShipsDeltaOnly) {
+  // A reader that already merged up to slot 3 (have = 3) receives only the
+  // inclusive suffix [3, ts]; the floor slot itself re-ships because its w
+  // can still fill in later.
+  Fixture f;
+  RegularObject obj(f.topo, 0);
+  for (Ts k = 1; k <= 5; ++k) {
+    f.deliver(obj, f.topo.writer(),
+              wire::WMsg{k, TsVal{k, "v"}, f.tuple(k, "v")});
+  }
+  auto out = f.deliver(obj, f.topo.reader(0), wire::HistReadMsg{1, 1, 0, 3});
+  const auto& ack = std::get<wire::HistReadAckMsg>(out[0].msg);
+  EXPECT_EQ(ack.history.size(), 3u);  // slots 3, 4, 5
+  EXPECT_TRUE(ack.history.contains(3));
+  EXPECT_EQ(ack.since, 3u);
+  EXPECT_EQ(ack.resync, 0u);
+  EXPECT_EQ(obj.acked()[0], 3u);
 }
 
 TEST(RegularObjectTest, StaleWriterTimestampIgnored) {
@@ -260,11 +282,11 @@ TEST(RegularObjectTest, ReaderTimestampGuardMatchesSafeObject) {
   Fixture f;
   RegularObject obj(f.topo, 0);
   EXPECT_FALSE(
-      f.deliver(obj, f.topo.reader(1), wire::ReadMsg{1, 7, 0}).empty());
+      f.deliver(obj, f.topo.reader(1), wire::HistReadMsg{1, 7, 0, 0}).empty());
   EXPECT_TRUE(
-      f.deliver(obj, f.topo.reader(1), wire::ReadMsg{2, 7, 0}).empty());
+      f.deliver(obj, f.topo.reader(1), wire::HistReadMsg{2, 7, 0, 0}).empty());
   EXPECT_FALSE(
-      f.deliver(obj, f.topo.reader(1), wire::ReadMsg{2, 8, 0}).empty());
+      f.deliver(obj, f.topo.reader(1), wire::HistReadMsg{2, 8, 0, 0}).empty());
 }
 
 }  // namespace

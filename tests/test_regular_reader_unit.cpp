@@ -35,17 +35,19 @@ class RegularHarness {
     reader_.read(cap, [this](const ReadResult& r) { result_ = r; });
     auto sent = cap.take();
     ASSERT_EQ(sent.size(), 4u);
-    const auto& req = std::get<wire::ReadMsg>(sent[0].msg);
+    const auto& req = std::get<wire::HistReadMsg>(sent[0].msg);
     round1_tsr_ = req.tsr;
     requested_cache_ts_ = req.cache_ts;
   }
 
-  void ack(int i, std::uint8_t round, ReaderTs tsr, wire::History h) {
+  void ack(int i, std::uint8_t round, ReaderTs tsr, wire::History h,
+           Ts since = 0, std::uint8_t resync = 0) {
     CapturingContext cap(null_);
-    reader_.on_message(cap, topo_.object(i),
-                       wire::HistReadAckMsg{round, tsr, std::move(h)});
+    reader_.on_message(
+        cap, topo_.object(i),
+        wire::HistReadAckMsg{round, tsr, std::move(h), since, resync});
     for (const auto& out : cap.sent()) {
-      if (const auto* rd = std::get_if<wire::ReadMsg>(&out.msg)) {
+      if (const auto* rd = std::get_if<wire::HistReadMsg>(&out.msg)) {
         if (rd->round == 2) round2_started_ = true;
       }
     }
@@ -166,6 +168,25 @@ TEST(RegularReaderUnit, OptimizedRequestsSuffixFromCache) {
   EXPECT_EQ(h.requested_cache_ts_, 3u);
 }
 
+TEST(RegularReaderUnit, EmptyDeltasReuseTheMirrorCandidates) {
+  RegularHarness h(/*optimized=*/true);
+  h.start();
+  for (int i = 0; i < 3; ++i) h.ack(i, 1, h.round1_tsr_, h.full_history(2));
+  ASSERT_TRUE(h.result_.has_value());
+  EXPECT_EQ(h.result_->tsval.ts, 2u);
+  h.result_.reset();
+  h.round2_started_ = false;
+  // Next read: nothing was written, so objects ship EMPTY deltas. The
+  // candidate is re-derived from the persistent mirrors (which still vouch
+  // for slot 2) -- a real return, not a cache fallback.
+  h.start();
+  for (int i = 0; i < 3; ++i) h.ack(i, 1, h.round1_tsr_, wire::History{});
+  ASSERT_TRUE(h.round2_started_);
+  ASSERT_TRUE(h.result_.has_value());
+  EXPECT_EQ(h.result_->tsval, (TsVal{2, "v2"}));
+  EXPECT_FALSE(h.result_->returned_default);
+}
+
 TEST(RegularReaderUnit, OptimizedFallsBackToCacheWhenCandidatesDrain) {
   RegularHarness h(/*optimized=*/true);
   h.start();
@@ -174,17 +195,21 @@ TEST(RegularReaderUnit, OptimizedFallsBackToCacheWhenCandidatesDrain) {
   EXPECT_EQ(h.result_->tsval.ts, 2u);
   h.result_.reset();
   h.round2_started_ = false;
-  // Next read: suppose objects now ship EMPTY suffixes (e.g. pruned
-  // histories with no news). C stays empty -> the read must return the
-  // cached value instead of blocking.
+  // Next read: every object hard-capped its history past the reader's floor
+  // and answers with a flagged resync carrying nothing the reader can use.
+  // The mirrors are rebuilt from the (empty) flagged suffixes, C drains,
+  // and the read must return the cached value instead of blocking.
   h.start();
-  for (int i = 0; i < 3; ++i) h.ack(i, 1, h.round1_tsr_, wire::History{});
+  for (int i = 0; i < 3; ++i) {
+    h.ack(i, 1, h.round1_tsr_, wire::History{}, /*since=*/9, /*resync=*/1);
+  }
   ASSERT_TRUE(h.round2_started_);
   ASSERT_TRUE(h.result_.has_value())
       << "empty candidate set must fall back to the cache";
   EXPECT_EQ(h.result_->tsval, (TsVal{2, "v2"}));
   EXPECT_TRUE(h.result_->returned_default);
   EXPECT_TRUE(h.reader_.diag().returned_from_cache);
+  EXPECT_EQ(h.reader_.diag().resyncs, 3u);
 }
 
 TEST(RegularReaderUnit, ConflictViaHistoryTuple) {
