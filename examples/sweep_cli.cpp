@@ -11,6 +11,10 @@
 //   $ ./sweep_cli --scenario tests/fixtures/scenarios/foo.scn
 //   $ ./sweep_cli --replay safe:des:chaos:42 --emit-scenario foo.scn
 //       (export any cell -- or a shrunk failure -- as a DSL file)
+//   $ ./sweep_cli --fuzz seed=20260808 count=500 fixtures=fuzz-failures/
+//       (seeded generator batch; failures auto-shrink into .scn fixtures)
+//   $ ./sweep_cli --coverage --scenarios scenarios,tests/fixtures/scenarios
+//       (the primitive x protocol x budget matrix those files exercise)
 //
 // Writes BENCH_scenario_sweep.json with per-cell verdicts and, for every
 // failure, the minimal fault schedule plus the --replay flag reproducing it.
@@ -24,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/fuzz.hpp"
 #include "harness/scenario_dsl.hpp"
 #include "harness/sweep.hpp"
 #include "harness/table.hpp"
@@ -63,10 +68,18 @@ void usage() {
       "  [--seeds=N] [--base-seed=N] [--t=N] [--b=N] [--readers=N]\n"
       "  [--writes=N] [--reads=N] [--check=safe|regular|atomic] [--jobs=N]\n"
       "  [--json=PATH] [--replay KEY] [--emit-scenario FILE]\n"
-      "  [--scenarios DIR] [--scenario FILE] [--check]\n"
+      "  [--scenarios DIR[,DIR...]] [--scenario FILE] [--check]\n"
+      "  [--fuzz [seed=K] [count=N] [overload=RATE] [fixtures=DIR]]\n"
+      "  [--coverage]\n"
       "With --scenarios and no grid flags, only the library runs. --replay\n"
       "with --emit-scenario writes the cell (shrunk first when it fails on\n"
-      "the DES) as a scenario file instead of just replaying it.\n",
+      "the DES) as a scenario file instead of just replaying it.\n"
+      "--fuzz runs a seeded generator batch (scoped by --protocols/\n"
+      "--backends/--check); unexpected failures shrink and land in\n"
+      "fixtures=DIR as replayable .scn files. --coverage prints the fault-\n"
+      "primitive x protocol matrix of --scenarios (plus the --fuzz batch if\n"
+      "given, without running it); with --check it exits 1 on any missing\n"
+      "model-legal cell.\n",
       protocol_list().c_str());
 }
 
@@ -152,14 +165,18 @@ int main(int argc, char** argv) {
   plan.protocols.clear();
   std::string replay_key;
   std::string scenario_file;
-  std::string scenarios_dir;
+  std::vector<std::string> scenario_dirs;
   std::string emit_path;
   std::string json_path = "BENCH_scenario_sweep.json";
+  harness::FuzzOptions fuzz;
   int jobs = 0;
   bool quick = false;
   bool check_mode = false;
+  bool fuzz_mode = false;
+  bool coverage_mode = false;
   bool protocols_given = false, templates_given = false, seeds_given = false;
   bool writes_given = false, reads_given = false, grid_given = false;
+  bool backends_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -180,9 +197,34 @@ int main(int argc, char** argv) {
     } else if (auto v = value("scenario")) {
       scenario_file = *v;
     } else if (arg == "--scenarios" && i + 1 < argc) {
-      scenarios_dir = argv[++i];
+      scenario_dirs = split_commas(argv[++i]);
     } else if (auto v = value("scenarios")) {
-      scenarios_dir = *v;
+      scenario_dirs = split_commas(*v);
+    } else if (arg == "--fuzz") {
+      fuzz_mode = true;
+    } else if (arg == "--coverage") {
+      coverage_mode = true;
+    } else if (fuzz_mode && arg.rfind("--", 0) != 0 &&
+               arg.find('=') != std::string::npos) {
+      // --fuzz sub-arguments: bare key=value tokens.
+      const auto eq = arg.find('=');
+      const std::string key = arg.substr(0, eq);
+      const std::string val = arg.substr(eq + 1);
+      if (key == "seed") {
+        fuzz.seed = std::strtoull(val.c_str(), nullptr, 10);
+      } else if (key == "count") {
+        fuzz.count = std::atoi(val.c_str());
+      } else if (key == "overload") {
+        fuzz.overload_rate = std::atof(val.c_str());
+      } else if (key == "fixtures") {
+        fuzz.fixture_dir = val;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --fuzz key '%s' (seed|count|overload|"
+                     "fixtures)\n",
+                     key.c_str());
+        return 2;
+      }
     } else if (arg == "--emit-scenario" && i + 1 < argc) {
       emit_path = argv[++i];
     } else if (auto v = value("emit-scenario")) {
@@ -209,6 +251,7 @@ int main(int argc, char** argv) {
       }
     } else if (auto v = value("backends")) {
       grid_given = true;
+      backends_given = true;
       if (*v == "both") {
         plan.backends = {harness::BackendKind::Sim,
                          harness::BackendKind::Threads};
@@ -281,17 +324,80 @@ int main(int argc, char** argv) {
 
   if (!scenario_file.empty()) return replay_file(scenario_file, emit_path);
 
-  if (!scenarios_dir.empty()) {
-    const auto lib = harness::load_scenario_dir(scenarios_dir);
+  for (const auto& dir : scenario_dirs) {
+    const auto lib = harness::load_scenario_dir(dir);
     for (const auto& err : lib.errors) {
       std::fprintf(stderr, "%s\n", err.c_str());
     }
     if (!lib.ok()) return 2;
     if (lib.scenarios.empty()) {
-      std::fprintf(stderr, "no *.scn files in %s\n", scenarios_dir.c_str());
+      std::fprintf(stderr, "no *.scn files in %s\n", dir.c_str());
       return 2;
     }
-    plan.library = lib.scenarios;
+    plan.library.insert(plan.library.end(), lib.scenarios.begin(),
+                        lib.scenarios.end());
+  }
+
+  // Scope the fuzz pools with the same flags the grid uses.
+  if (fuzz_mode || coverage_mode) {
+    if (protocols_given) fuzz.protocols = plan.protocols;
+    if (backends_given) fuzz.backends = plan.backends;
+    fuzz.check_override = plan.check_override;
+  }
+
+  if (coverage_mode) {
+    // Static accounting: which primitive x protocol x budget cells do the
+    // named scenario files (plus the generated fuzz batch, if any) touch?
+    harness::CoverageMatrix matrix;
+    matrix.add_all(plan.library);
+    if (fuzz_mode) {
+      matrix.add_all(harness::ScenarioFuzzer(fuzz).batch());
+    }
+    std::printf("%s", matrix.table().c_str());
+    return check_mode && !matrix.missing().empty() ? 1 : 0;
+  }
+
+  if (fuzz_mode) {
+    std::printf("fuzzing %d scenario(s): seed %llu, overload rate %.2f\n",
+                fuzz.count, static_cast<unsigned long long>(fuzz.seed),
+                fuzz.overload_rate);
+    const auto result = harness::run_fuzz(fuzz, jobs);
+    int pass = 0, reproduced = 0;
+    for (const auto& c : result.report.cells) {
+      if (c.ok == c.expect_ok) {
+        if (c.expect_ok) ++pass; else ++reproduced;
+      }
+    }
+    std::printf("%zu cell(s): %d pass, %d expected-fail reproduced, "
+                "%zu unexpected in %.1f ms on %d workers\n",
+                result.report.cells.size(), pass, reproduced,
+                result.unexpected.size(), result.report.wall_ms,
+                result.report.workers);
+    for (const auto& key : result.unexpected) {
+      for (const auto& c : result.report.cells) {
+        if (c.key != key) continue;
+        std::printf("  UNEXPECTED %s (expect %s): %s\n", key.c_str(),
+                    c.expect_ok ? "ok" : "fail",
+                    c.first_violation.empty() ? "stuck/timeout"
+                                              : c.first_violation.c_str());
+      }
+    }
+    for (const auto& path : result.fixtures) {
+      std::printf("  fixture: %s\n", path.c_str());
+    }
+    if (!check_mode) {
+      harness::SweepPlan fuzz_plan;
+      fuzz_plan.protocols.clear();
+      fuzz_plan.templates.clear();
+      fuzz_plan.library = result.scenarios;
+      if (!harness::SweepEngine::write_json(result.report, fuzz_plan,
+                                            json_path)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return result.unexpected.empty() ? 0 : 1;
   }
 
   // With a scenario library and no grid flags, only the library runs.

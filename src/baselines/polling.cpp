@@ -176,6 +176,20 @@ int PollingReader::deny_count(const TsVal& c) const {
 }
 
 void PollingReader::try_decide(net::Context& ctx) {
+  // Evidence from fewer than S - t responders can miss a completed write
+  // entirely: the write's quorum need not intersect a smaller response
+  // set, so a candidate's absence says nothing. A gray-slowed object that
+  // missed both write phases but answers polls first would otherwise
+  // decide the read alone with its stale <bottom, bottom> state (found by
+  // the scenario fuzzer; pinned by poll-gray-stale-read.scn). With a full
+  // quorum responded, any completed write's phase-2 quorum overlaps the
+  // response set in >= S - 2t >= b + 1 objects, so genuine candidates are
+  // always on the table before anything is returned.
+  int responded = 0;
+  for (const auto& e : evidence_) {
+    if (e.responded) ++responded;
+  }
+  if (responded < res_.quorum()) return;
   // Return the highest vouched candidate once every strictly higher
   // candidate is dead. Candidates are scanned highest-first.
   std::vector<TsVal> sorted = candidates_;

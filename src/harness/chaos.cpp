@@ -82,9 +82,15 @@ void inject_flap(Deployment& d, const FlapOptions& opts) {
   const auto jit = [&]() -> Time {
     return opts.jitter == 0 ? 0 : jitter_rng.uniform(0, opts.jitter);
   };
+  // Sequenced so a stale edge that the threaded backend runs late (see
+  // EdgeSequencer) cannot re-hold channels after the terminal release.
+  auto order = std::make_shared<EdgeSequencer>();
+  int next_edge = 0;
   const auto post_edge = [&](Time at, bool hold) {
-    d.backend().post(at, d.writer_pid(), [&d, objs = opts.objects,
-                                          hold](net::Context&) {
+    d.backend().post(at, d.writer_pid(),
+                     [&d, objs = opts.objects, hold, order,
+                      edge = next_edge++](net::Context&) {
+      if (!order->seal(edge)) return;
       for (const int i : objs) {
         if (hold) {
           d.backend().hold_all(d.object_pid(i));

@@ -15,11 +15,44 @@
 // the model admits: lying objects plus scheduler-controlled asynchrony.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "harness/deployment.hpp"
 
 namespace rr::harness {
+
+/// Orders up-front-posted fault edges on the threaded backend. Timed posts
+/// are not guaranteed to run in `at` order there (Cluster::post's
+/// already-due bypass can overtake an earlier edge still sitting in the
+/// timer heap), and fault edges encode absolute state -- held vs released,
+/// gray vs healthy -- so a stale edge applied after a newer one sticks
+/// forever: a hold overtaken by its own release strands every buffered
+/// message outside the quiescence count and the run reports stuck ops.
+/// Give each edge of one fault an index in schedule order and have its
+/// closure apply only if seal(index) says no newer edge has run yet; a
+/// skipped stale edge degenerates the window, which is a legal schedule.
+/// The DES executes timed posts in order, so every seal succeeds there and
+/// behavior is bit-identical.
+class EdgeSequencer {
+ public:
+  /// True if no edge newer than `index` has applied yet; marks `index`
+  /// applied. Edges run serialized (steps of one pid), the atomic only
+  /// spans the cross-thread handoff between steps.
+  bool seal(int index) {
+    int prev = newest_.load(std::memory_order_relaxed);
+    while (prev < index) {
+      if (newest_.compare_exchange_weak(prev, index,
+                                        std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<int> newest_{-1};
+};
 
 struct ChaosOptions {
   /// Objects whose channels may be held simultaneously. Defaults to the

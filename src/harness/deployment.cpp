@@ -202,14 +202,18 @@ void Deployment::logged_write(Time at, int shard, Value v,
                                                 net::Context& ctx) {
     // The log handle is created at actual invocation (inside the writer's
     // step) so invoked_at is exact; the intended value is recorded up front
-    // in case the write never completes.
+    // in case the write never completes. Times come from the backend's
+    // global clock, not ctx.now(): the checker is an omniscient observer of
+    // real-time precedence, so a client whose *local* clock is skewed (the
+    // DSL's `fault skew role=...`) must not be able to shift its logged
+    // interval. Unskewed, the two clocks agree to the tick.
     auto& log = *logs_[static_cast<std::size_t>(shard)];
     const auto handle = log.record_invocation(checker::OpRecord::Kind::Write,
-                                              -1, ctx.now(), v);
+                                              -1, backend_->now(), v);
     do_write(ctx, shard, v,
              [this, shard, handle, v, cb](const core::WriteResult& r) {
                logs_[static_cast<std::size_t>(shard)]->record_write_response(
-                   handle, r.completed_at, r.ts, v);
+                   handle, backend_->now(), r.ts, v);
                if (cb) cb(r);
              });
   });
@@ -225,13 +229,15 @@ void Deployment::logged_read(Time at, int shard, int reader,
   RR_ASSERT(reader >= 0 && reader < opts_.res.num_readers);
   backend_->post(at, layout_.reader(shard, reader),
                  [this, shard, reader, cb = std::move(cb)](net::Context& ctx) {
+    // Same omniscient-clock rule as logged_write: checker times must not
+    // pass through a (possibly skewed) client clock.
     auto& log = *logs_[static_cast<std::size_t>(shard)];
     const auto handle = log.record_invocation(checker::OpRecord::Kind::Read,
-                                              reader, ctx.now());
+                                              reader, backend_->now());
     do_read(ctx, shard, reader,
             [this, shard, handle, cb](const core::ReadResult& r) {
               logs_[static_cast<std::size_t>(shard)]->record_read_response(
-                  handle, r.completed_at, r.tsval);
+                  handle, backend_->now(), r.tsval);
               if (cb) cb(r);
             });
   });

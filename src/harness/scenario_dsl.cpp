@@ -226,6 +226,10 @@ ScenarioParseResult parse_scenario(std::string_view text) {
   ScenarioParseResult result;
   Scenario& s = result.scenario;
   bool saw_scenario = false;
+  // Source line of each fault event, so the deferred semantic validation
+  // (deferred because `budget` may legally come after `fault` lines) can
+  // still name the offending line instead of the end of the file.
+  std::vector<int> event_lines;
 
   const auto fail = [&result](int line, const std::string& msg) {
     result.ok = false;
@@ -387,6 +391,34 @@ ScenarioParseResult parse_scenario(std::string_view text) {
         if (!parse_int(*v, &ev.object) || ev.object < 0) return "bad obj";
         return "";
       };
+      /// gray/skew accept either obj=N or role=writer|reader [idx=J]: the
+      /// client processes read clocks too, so the per-process fault kinds
+      /// can address them (role=reader defaults to reader 0).
+      const auto need_target = [&]() -> std::string {
+        const auto* obj = kv.find("obj");
+        const auto* role = kv.find("role");
+        if (obj != nullptr && role != nullptr) {
+          return "both obj= and role= given";
+        }
+        if (role == nullptr) {
+          if (kv.find("idx") != nullptr) return "idx= needs role=reader";
+          return need_obj();
+        }
+        if (*role == "writer") {
+          ev.role = Role::Writer;
+          if (kv.find("idx") != nullptr) return "role=writer takes no idx=";
+        } else if (*role == "reader") {
+          ev.role = Role::Reader;
+          if (const auto* idx = kv.find("idx")) {
+            if (!parse_int(*idx, &ev.object) || ev.object < 0) {
+              return "bad idx";
+            }
+          }
+        } else {
+          return "unknown role '" + *role + "' (want writer|reader)";
+        }
+        return "";
+      };
       const auto need_objs = [&]() -> std::string {
         const auto* v = kv.find("objs");
         if (v == nullptr) return "missing objs=";
@@ -483,13 +515,13 @@ ScenarioParseResult parse_scenario(std::string_view text) {
           if (!parse_time(*v, &ev.jitter)) return fail(line_no, "bad jitter");
         }
       } else if (kind == "gray") {
-        if (const auto k = kv.unknown_key({"obj", "slow", "at", "from", "dur",
-                                           "to"});
+        if (const auto k = kv.unknown_key({"obj", "role", "idx", "slow", "at",
+                                           "from", "dur", "to"});
             !k.empty()) {
           return fail(line_no, "unknown key '" + k + "'");
         }
         ev.kind = FaultEvent::Kind::Gray;
-        if (err = need_obj(); !err.empty()) return fail(line_no, err);
+        if (err = need_target(); !err.empty()) return fail(line_no, err);
         const auto* v = kv.find("slow");
         if (v == nullptr || !parse_rate(*v, &ev.rate) || ev.rate <= 1.0) {
           return fail(line_no, "gray needs slow=FACTORx with factor > 1");
@@ -498,11 +530,12 @@ ScenarioParseResult parse_scenario(std::string_view text) {
           return fail(line_no, err);
         }
       } else if (kind == "skew") {
-        if (const auto k = kv.unknown_key({"obj", "offset"}); !k.empty()) {
+        if (const auto k = kv.unknown_key({"obj", "role", "idx", "offset"});
+            !k.empty()) {
           return fail(line_no, "unknown key '" + k + "'");
         }
         ev.kind = FaultEvent::Kind::Skew;
-        if (err = need_obj(); !err.empty()) return fail(line_no, err);
+        if (err = need_target(); !err.empty()) return fail(line_no, err);
         const auto* v = kv.find("offset");
         if (v == nullptr || !parse_offset(*v, &ev.skew)) {
           return fail(line_no, "skew needs offset=[-]TIME");
@@ -539,6 +572,7 @@ ScenarioParseResult parse_scenario(std::string_view text) {
         return fail(line_no, "unknown fault kind '" + kind + "'");
       }
       s.events.push_back(std::move(ev));
+      event_lines.push_back(line_no);
     } else {
       return fail(line_no, "unknown directive '" + directive + "'");
     }
@@ -547,30 +581,47 @@ ScenarioParseResult parse_scenario(std::string_view text) {
   if (!saw_scenario) return fail(line_no, "missing scenario line");
 
   // Semantic validation against the effective resilience recipe, so a bad
-  // file is a parse error here instead of an assertion failure inside the
-  // deployment.
+  // file is a parse error that names the offending `fault` line instead of
+  // a late assertion failure deep inside the sweep's deployment build.
   const Resilience res =
       protocol_traits(s.protocol).resilience_for(s.t, s.b, s.readers);
   int byz_count = 0;
   int link_rules[3] = {0, 0, 0};
   for (std::size_t i = 0; i < s.events.size(); ++i) {
     const auto& ev = s.events[i];
+    const int ev_line = event_lines[i];
     const auto check_obj = [&](int o) {
       return o >= 0 && o < res.num_objects;
+    };
+    const auto obj_range_error = [&](int o) {
+      return fail(ev_line, "object " + std::to_string(o) +
+                               " out of range (this deployment has " +
+                               std::to_string(res.num_objects) + " objects)");
     };
     switch (ev.kind) {
       case FaultEvent::Kind::Byzantine:
         ++byz_count;
+        if (byz_count > res.b) {
+          return fail(ev_line, std::to_string(byz_count) +
+                                   " byzantine faults exceed the budget b = " +
+                                   std::to_string(res.b));
+        }
         [[fallthrough]];
       case FaultEvent::Kind::Crash:
+        if (!check_obj(ev.object)) return obj_range_error(ev.object);
+        break;
       case FaultEvent::Kind::Gray:
       case FaultEvent::Kind::Skew:
-        if (!check_obj(ev.object)) {
-          return fail(line_no, "fault " + std::to_string(i + 1) +
-                                   ": object " + std::to_string(ev.object) +
+        // The per-process kinds may address a client role instead of an
+        // object; reader indices live in their own 0..R-1 range.
+        if (ev.role == Role::Reader && ev.object >= res.num_readers) {
+          return fail(ev_line, "reader index " + std::to_string(ev.object) +
                                    " out of range (this deployment has " +
-                                   std::to_string(res.num_objects) +
-                                   " objects)");
+                                   std::to_string(res.num_readers) +
+                                   " readers)");
+        }
+        if (ev.role == Role::Object && !check_obj(ev.object)) {
+          return obj_range_error(ev.object);
         }
         break;
       case FaultEvent::Kind::Hold:
@@ -581,37 +632,46 @@ ScenarioParseResult parse_scenario(std::string_view text) {
       case FaultEvent::Kind::Duplicate:
       case FaultEvent::Kind::Reorder:
         for (const int o : ev.held) {
-          if (!check_obj(o)) {
-            return fail(line_no, "fault " + std::to_string(i + 1) +
-                                     ": object " + std::to_string(o) +
-                                     " out of range (this deployment has " +
-                                     std::to_string(res.num_objects) +
-                                     " objects)");
+          if (!check_obj(o)) return obj_range_error(o);
+        }
+        if (ev.kind == FaultEvent::Kind::Loss ||
+            ev.kind == FaultEvent::Kind::Duplicate ||
+            ev.kind == FaultEvent::Kind::Reorder) {
+          const int slot = ev.kind == FaultEvent::Kind::Loss        ? 0
+                           : ev.kind == FaultEvent::Kind::Duplicate ? 1
+                                                                    : 2;
+          if (++link_rules[slot] > 1) {
+            return fail(ev_line, std::string("at most one ") +
+                                     (slot == 0   ? "loss"
+                                      : slot == 1 ? "dup"
+                                                  : "reorder") +
+                                     " fault per scenario");
           }
         }
-        if (ev.kind == FaultEvent::Kind::Loss) ++link_rules[0];
-        if (ev.kind == FaultEvent::Kind::Duplicate) ++link_rules[1];
-        if (ev.kind == FaultEvent::Kind::Reorder) ++link_rules[2];
         break;
-    }
-  }
-  if (byz_count > res.b) {
-    return fail(line_no, std::to_string(byz_count) +
-                             " byzantine faults exceed the budget b = " +
-                             std::to_string(res.b));
-  }
-  for (int i = 0; i < 3; ++i) {
-    if (link_rules[i] > 1) {
-      return fail(line_no, std::string("at most one ") +
-                               (i == 0   ? "loss"
-                                : i == 1 ? "dup"
-                                         : "reorder") +
-                               " fault per scenario");
     }
   }
   result.ok = true;
   return result;
 }
+
+namespace {
+
+/// Gray/Skew target as it appears in the DSL: `obj=N` for base objects,
+/// `role=writer` / `role=reader idx=J` for client processes.
+std::string emit_target(const FaultEvent& ev) {
+  switch (ev.role) {
+    case Role::Writer:
+      return "role=writer";
+    case Role::Reader:
+      return "role=reader idx=" + std::to_string(ev.object);
+    case Role::Object:
+      break;
+  }
+  return "obj=" + std::to_string(ev.object);
+}
+
+}  // namespace
 
 std::string emit_scenario(const Scenario& s) {
   std::string out;
@@ -685,14 +745,14 @@ std::string emit_scenario(const Scenario& s) {
              " duty=" + fmt_double(ev.rate) + " jitter=" + t(ev.jitter));
         break;
       case FaultEvent::Kind::Gray: {
-        std::string l = "fault gray obj=" + std::to_string(ev.object) +
+        std::string l = "fault gray " + emit_target(ev) +
                         " slow=" + fmt_double(ev.rate) + " at=" + t(ev.at);
         if (ev.duration != 0) l += " dur=" + t(ev.duration);
         line(l);
         break;
       }
       case FaultEvent::Kind::Skew:
-        line("fault skew obj=" + std::to_string(ev.object) +
+        line("fault skew " + emit_target(ev) +
              " offset=" + std::to_string(static_cast<long long>(ev.skew)));
         break;
       case FaultEvent::Kind::Loss:

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -180,6 +181,10 @@ std::string FaultEvent::describe() const {
     if (!objs.empty()) objs += ",";
     objs += std::to_string(o);
   }
+  // Role-addressed gray/skew name the client, not an object index.
+  std::string target = "object " + std::to_string(object);
+  if (role == Role::Writer) target = "writer";
+  if (role == Role::Reader) target = "reader " + std::to_string(object);
   switch (kind) {
     case Kind::Byzantine:
       std::snprintf(buf, sizeof(buf), "byzantine object %d (%s)", object,
@@ -212,12 +217,12 @@ std::string FaultEvent::describe() const {
       return buf;
     case Kind::Gray:
       std::snprintf(buf, sizeof(buf),
-                    "gray object %d (%.2fx slower) during [%llu, %llu)",
-                    object, rate, ull(at), ull(at + duration));
+                    "gray %s (%.2fx slower) during [%llu, %llu)",
+                    target.c_str(), rate, ull(at), ull(at + duration));
       return buf;
     case Kind::Skew:
-      std::snprintf(buf, sizeof(buf), "clock skew object %d offset=%lld",
-                    object, static_cast<long long>(skew));
+      std::snprintf(buf, sizeof(buf), "clock skew %s offset=%lld",
+                    target.c_str(), static_cast<long long>(skew));
       return buf;
     case Kind::Loss:
       std::snprintf(buf, sizeof(buf),
@@ -444,7 +449,9 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
         opts.faults.byzantine[ev.object] = ev.strategy;
         break;
       case FaultEvent::Kind::Skew:
-        opts.clock_skew[ev.object] = ev.skew;
+        // Client-role skew resolves against the layout, which does not
+        // exist yet; it is installed right after construction below.
+        if (ev.role == Role::Object) opts.clock_skew[ev.object] = ev.skew;
         break;
       case FaultEvent::Kind::Loss:
       case FaultEvent::Kind::Duplicate:
@@ -476,10 +483,37 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
   const auto t0 = std::chrono::steady_clock::now();
   Deployment d(opts);
   Backend& backend = d.backend();
+  // Resolves a gray/skew target to physical pids: one object, or the role's
+  // client on every shard (the writer, or reader `object` of each shard).
+  const auto target_pids = [&d, &s](const FaultEvent& ev) {
+    std::vector<ProcessId> pids;
+    switch (ev.role) {
+      case Role::Object:
+        pids.push_back(d.object_pid(ev.object));
+        break;
+      case Role::Writer:
+        for (int sh = 0; sh < s.shards; ++sh) pids.push_back(d.writer_pid(sh));
+        break;
+      case Role::Reader:
+        for (int sh = 0; sh < s.shards; ++sh) {
+          pids.push_back(d.reader_pid(sh, ev.object));
+        }
+        break;
+    }
+    return pids;
+  };
   for (const auto& ev : s.events) {
     switch (ev.kind) {
-      case FaultEvent::Kind::Byzantine:
       case FaultEvent::Kind::Skew:
+        // Object skew was applied at construction; client-role skew is a
+        // property of the pid, installed before any event runs.
+        if (ev.role != Role::Object) {
+          for (const ProcessId pid : target_pids(ev)) {
+            backend.set_clock_skew(pid, ev.skew);
+          }
+        }
+        break;
+      case FaultEvent::Kind::Byzantine:
       case FaultEvent::Kind::Loss:
       case FaultEvent::Kind::Duplicate:
       case FaultEvent::Kind::Reorder:
@@ -497,12 +531,19 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
         std::vector<ProcessId> pids;
         pids.reserve(ev.held.size());
         for (const int o : ev.held) pids.push_back(d.object_pid(o));
+        // Sequenced (EdgeSequencer): on the threaded backend the release
+        // can run before the hold; a hold applied after its own release
+        // would strand channels forever.
+        auto order = std::make_shared<EdgeSequencer>();
         backend.post(ev.at, d.writer_pid(),
-                     [&backend, pids](net::Context&) {
+                     [&backend, pids, order](net::Context&) {
+                       if (!order->seal(0)) return;
                        for (const ProcessId p : pids) backend.hold_all(p);
                      });
         backend.post(ev.at + ev.duration, d.writer_pid(),
-                     [&backend, pids = std::move(pids)](net::Context&) {
+                     [&backend, pids = std::move(pids),
+                      order](net::Context&) {
+                       order->seal(1);
                        for (const ProcessId p : pids) backend.release_all(p);
                      });
         break;
@@ -528,11 +569,17 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
             }
           }
         };
-        backend.post(ev.at, d.writer_pid(), [&backend, each](net::Context&) {
-          each([&backend](ProcessId a, ProcessId b) { backend.hold(a, b); });
-        });
+        auto order = std::make_shared<EdgeSequencer>();
+        backend.post(ev.at, d.writer_pid(),
+                     [&backend, each, order](net::Context&) {
+                       if (!order->seal(0)) return;
+                       each([&backend](ProcessId a, ProcessId b) {
+                         backend.hold(a, b);
+                       });
+                     });
         backend.post(ev.at + ev.duration, d.writer_pid(),
-                     [&backend, each](net::Context&) {
+                     [&backend, each, order](net::Context&) {
+                       order->seal(1);
                        each([&backend](ProcessId a, ProcessId b) {
                          backend.release(a, b);
                        });
@@ -554,16 +601,25 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
         break;
       }
       case FaultEvent::Kind::Gray: {
-        const ProcessId pid = d.object_pid(ev.object);
+        const std::vector<ProcessId> pids = target_pids(ev);
         const double factor = ev.rate;
+        // Sequenced like Hold: a gray-on edge applied after its own
+        // gray-off would slow the target for the rest of the run.
+        auto order = std::make_shared<EdgeSequencer>();
         backend.post(ev.at, d.writer_pid(),
-                     [&backend, pid, factor](net::Context&) {
-                       backend.set_gray(pid, factor);
+                     [&backend, pids, factor, order](net::Context&) {
+                       if (!order->seal(0)) return;
+                       for (const ProcessId p : pids) {
+                         backend.set_gray(p, factor);
+                       }
                      });
         if (ev.duration > 0) {
           backend.post(ev.at + ev.duration, d.writer_pid(),
-                       [&backend, pid](net::Context&) {
-                         backend.set_gray(pid, 1.0);
+                       [&backend, pids, order](net::Context&) {
+                         order->seal(1);
+                         for (const ProcessId p : pids) {
+                           backend.set_gray(p, 1.0);
+                         }
                        });
         }
         break;
@@ -599,6 +655,18 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
   v.violations = static_cast<int>(report.violations.size());
   if (!report.violations.empty()) v.first_violation = report.violations[0];
 
+  if (std::getenv("RR_DEBUG_OPS")) {
+    for (int shard = 0; shard < d.shards(); ++shard) {
+      for (const auto& op : d.log(shard).snapshot()) {
+        std::fprintf(stderr, "[op] %s client=%d ts=%llu [%llu, %llu] %s\n",
+                     op.kind == checker::OpRecord::Kind::Write ? "W" : "R",
+                     op.client, (unsigned long long)op.ts,
+                     (unsigned long long)op.invoked_at,
+                     (unsigned long long)op.responded_at,
+                     op.complete ? "complete" : "STUCK");
+      }
+    }
+  }
   std::uint64_t history_fp = 0x243f6a8885a308d3ULL;  // arbitrary nonzero
   for (int shard = 0; shard < d.shards(); ++shard) {
     for (const auto& op : d.log(shard).snapshot()) {

@@ -96,7 +96,14 @@ struct FaultEvent {
   };
 
   Kind kind{Kind::Crash};
-  int object{0};  ///< Byzantine/Crash/Gray/Skew: object index
+  /// Gray/Skew may target a client role instead of a base object -- clients
+  /// are the processes that read clocks, so they are the other half of the
+  /// model's "no process may rely on local timing" clause. Role::Writer hits
+  /// every shard's writer; Role::Reader hits reader `object` of every shard.
+  /// All other kinds require the default Role::Object.
+  Role role{Role::Object};
+  int object{0};  ///< Byzantine/Crash/Gray/Skew: object index, or (for
+                  ///< role=reader faults) the reader index
   adversary::StrategyKind strategy{adversary::StrategyKind::Silent};
   Time at{0};        ///< Crash: crash time; windowed kinds: window start
   Time duration{0};  ///< window length (0 = open-ended where legal)

@@ -1,0 +1,204 @@
+// ScenarioFuzzer invariants: every generated scenario is parse-legal and
+// round-trips bit-identically through the DSL, the fault schedule respects
+// the declared (t, b) budget by construction, generation and execution are
+// pure functions of the batch seed (same across runs and worker counts),
+// the ddmin shrinker is idempotent on the committed fixtures, and a fuzz
+// failure's auto-emitted fixture replays the failure standalone.
+#include "harness/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "harness/scenario_dsl.hpp"
+#include "harness/sweep.hpp"
+
+namespace rr::harness {
+namespace {
+
+const std::string kFixtureDir =
+    std::string(RR_SOURCE_DIR) + "/tests/fixtures/scenarios";
+
+std::vector<std::string> scn_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".scn") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Budget accounting of one generated schedule: #byz <= b and
+/// #byz + #crash <= t -- except overload cells, which violate it on
+/// purpose (and say so via expect_ok = false).
+void expect_budget_respected(const Scenario& s) {
+  const Resilience res =
+      protocol_traits(s.protocol).resilience_for(s.t, s.b, s.readers);
+  int byz = 0;
+  int crash = 0;
+  for (const auto& ev : s.events) {
+    if (ev.kind == FaultEvent::Kind::Byzantine) ++byz;
+    if (ev.kind == FaultEvent::Kind::Crash) ++crash;
+    // Loss never appears: it violates the channel model and stalls ops.
+    EXPECT_NE(ev.kind, FaultEvent::Kind::Loss);
+  }
+  if (s.expect_ok) {
+    EXPECT_LE(byz, res.b);
+    EXPECT_LE(byz + crash, res.t);
+  } else {
+    EXPECT_GT(crash, res.t);  // overload: deliberately past the budget
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The 10k property: every generated scenario parses, re-emits
+// bit-identically, and respects the declared budget.
+// ---------------------------------------------------------------------------
+TEST(Fuzz, TenThousandScenariosRoundTripAndRespectBudget) {
+  FuzzOptions opts;
+  opts.seed = 0xfeedULL;
+  opts.overload_rate = 0.1;
+  const ScenarioFuzzer fuzzer(opts);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const Scenario s = fuzzer.generate(i);
+    SCOPED_TRACE("index " + std::to_string(i) + " (" + s.name + ")");
+    expect_budget_respected(s);
+
+    const std::string text = emit_scenario(s);
+    const auto parsed = parse_scenario(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << text;
+    EXPECT_EQ(parsed.scenario, s);
+    EXPECT_EQ(emit_scenario(parsed.scenario), text);
+  }
+}
+
+// Generation is a pure function of (seed, index): regenerating yields the
+// identical batch, and distinct seeds diverge.
+TEST(Fuzz, GenerationIsDeterministicPerSeed) {
+  FuzzOptions opts;
+  opts.seed = 42;
+  opts.count = 200;
+  opts.overload_rate = 0.2;
+  const ScenarioFuzzer a(opts);
+  const ScenarioFuzzer b(opts);
+  EXPECT_EQ(a.batch(), b.batch());
+
+  opts.seed = 43;
+  const ScenarioFuzzer c(opts);
+  EXPECT_NE(a.batch(), c.batch());
+}
+
+// Full-run determinism across worker counts: same seed and count yield
+// identical cell keys, verdicts, and DES fingerprints whether the batch
+// runs on 1 thread or 4 (the acceptance bar for `sweep_cli --fuzz`).
+TEST(Fuzz, RunIsDeterministicAcrossWorkerCounts) {
+  FuzzOptions opts;
+  opts.seed = 7;
+  opts.count = 24;
+  opts.backends = {BackendKind::Sim};  // fingerprints only exist on the DES
+  opts.overload_rate = 0.15;
+
+  const FuzzResult one = run_fuzz(opts, /*workers=*/1);
+  const FuzzResult four = run_fuzz(opts, /*workers=*/4);
+  ASSERT_EQ(one.report.cells.size(), four.report.cells.size());
+  for (std::size_t i = 0; i < one.report.cells.size(); ++i) {
+    const auto& a = one.report.cells[i];
+    const auto& b = four.report.cells[i];
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_NE(a.fingerprint, 0u);
+  }
+  EXPECT_EQ(one.unexpected, four.unexpected);
+}
+
+// Overload cells are generated expect-fail, actually fail (the stall is
+// guaranteed by construction), and never count as unexpected.
+TEST(Fuzz, OverloadCellsFailAsExpected) {
+  FuzzOptions opts;
+  opts.seed = 11;
+  opts.count = 12;
+  opts.overload_rate = 1.0;
+  const FuzzResult r = run_fuzz(opts, 0);
+  EXPECT_EQ(r.overload_cells, opts.count);
+  EXPECT_TRUE(r.unexpected.empty()) << r.unexpected.front();
+  for (const auto& v : r.report.cells) {
+    EXPECT_FALSE(v.expect_ok);
+    EXPECT_FALSE(v.ok) << v.key << " completed despite t+1 crashes";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ddmin idempotence over the committed fixtures: a fixture that still
+// reproduces its failure is already 1-minimal (re-shrinking returns the
+// identical schedule), and every shrunk schedule round-trips.
+// ---------------------------------------------------------------------------
+TEST(Fuzz, ShrinkerIsIdempotentOnCommittedFixtures) {
+  for (const auto& path : scn_files(kFixtureDir)) {
+    SCOPED_TRACE(path);
+    const auto loaded = load_scenario_file(path);
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+    const Scenario& s = loaded.scenario;
+    const CellVerdict v = SweepEngine::run_cell(s);
+    if (v.ok) {
+      // A passing fixture (e.g. a soak) has nothing to shrink; it must at
+      // least declare itself expect-ok.
+      EXPECT_TRUE(s.expect_ok);
+      continue;
+    }
+    const ShrinkResult shrunk = SweepEngine::shrink(s);
+    EXPECT_EQ(shrunk.minimal.events, s.events)
+        << "fixture is not 1-minimal: re-shrinking dropped "
+        << s.events.size() - shrunk.minimal.events.size() << " event(s)";
+    const auto text = emit_scenario(shrunk.minimal);
+    const auto reparsed = parse_scenario(text);
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+    EXPECT_EQ(reparsed.scenario, shrunk.minimal);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The auto-fixture pipeline, pinned end-to-end with a known-bad semantics
+// override: checking a safe-register protocol against Atomic must produce
+// failures, each failure's emitted .scn must replay the failure standalone
+// (expect fail, so it is committed-ready), and the shrunk twin too.
+// ---------------------------------------------------------------------------
+TEST(Fuzz, FailingCellsEmitReplayableFixtures) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "rr-fuzz-fixtures-test";
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions opts;
+  opts.seed = 3;
+  opts.count = 30;
+  opts.protocols = {Protocol::Safe};
+  opts.backends = {BackendKind::Sim};
+  opts.check_override = Semantics::Atomic;  // known-bad: safe is not atomic
+  opts.fixture_dir = dir.string();
+  const FuzzResult r = run_fuzz(opts, 0);
+  ASSERT_FALSE(r.unexpected.empty())
+      << "atomic override on the safe protocol produced no violation in "
+      << opts.count << " scenarios";
+  ASSERT_FALSE(r.fixtures.empty());
+
+  for (const auto& path : r.fixtures) {
+    SCOPED_TRACE(path);
+    const auto loaded = load_scenario_file(path);
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+    EXPECT_FALSE(loaded.scenario.expect_ok);
+    // The fixture alone -- no fuzzer, no batch context -- must reproduce.
+    const CellVerdict v = SweepEngine::run_cell(loaded.scenario);
+    EXPECT_FALSE(v.ok) << "emitted fixture no longer fails";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rr::harness

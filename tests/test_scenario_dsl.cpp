@@ -231,5 +231,68 @@ TEST(ScenarioDsl, NamedScenariosResolveThroughTheEngine) {
   EXPECT_FALSE(engine.materialize_key("scn:absent").has_value());
 }
 
+// Client-role targets on gray/skew survive parse -> emit -> parse
+// bit-identically, alongside plain object targets.
+TEST(ScenarioDsl, ClientRoleTargetsRoundTrip) {
+  const auto parsed = parse_scenario(
+      "scenario regular des seed=9 name=roles\n"
+      "budget t=1 b=0 readers=3\n"
+      "fault gray role=writer slow=3 at=5000 dur=2000\n"
+      "fault gray role=reader idx=2 slow=2 at=6000 dur=2000\n"
+      "fault skew role=writer offset=-1500\n"
+      "fault skew role=reader idx=1 offset=800\n"
+      "fault gray obj=1 slow=4 at=7000 dur=1000\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& s = parsed.scenario;
+  ASSERT_EQ(s.events.size(), 5u);
+  EXPECT_EQ(s.events[0].role, Role::Writer);
+  EXPECT_EQ(s.events[1].role, Role::Reader);
+  EXPECT_EQ(s.events[1].object, 2);
+  EXPECT_EQ(s.events[2].role, Role::Writer);
+  EXPECT_EQ(s.events[3].role, Role::Reader);
+  EXPECT_EQ(s.events[3].object, 1);
+  EXPECT_EQ(s.events[4].role, Role::Object);
+  const std::string text = emit_scenario(s);
+  EXPECT_NE(text.find("role=writer"), std::string::npos);
+  EXPECT_NE(text.find("role=reader idx=2"), std::string::npos);
+  const auto again = parse_scenario(text);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.scenario, s);
+  EXPECT_EQ(emit_scenario(again.scenario), text);
+}
+
+// Semantic range errors name the offending fault line, not the end of the
+// file -- even when the budget directive (which fixes S and R) comes after
+// the fault lines, and even when an earlier fault line is fine.
+TEST(ScenarioDsl, RangeErrorsNameTheOffendingLine) {
+  {
+    const auto parsed = parse_scenario(
+        "scenario safe des seed=1 name=bad\n"  // line 1
+        "fault crash obj=1 at=5\n"             // line 2 (in range)
+        "fault hold objs=0,9 at=5 dur=10\n"    // line 3: object 9 of S=3
+        "budget t=1 b=0 readers=2\n");
+    ASSERT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("line 3"), std::string::npos) << parsed.error;
+  }
+  {
+    const auto parsed = parse_scenario(
+        "scenario safe des seed=1 name=bad\n"
+        "budget t=1 b=0 readers=2\n"
+        "fault gray role=reader idx=5 slow=2 at=5\n");  // line 3: R=2
+    ASSERT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("line 3"), std::string::npos) << parsed.error;
+    EXPECT_NE(parsed.error.find("reader"), std::string::npos) << parsed.error;
+  }
+  {
+    const auto parsed = parse_scenario(
+        "scenario safe des seed=1 name=bad\n"
+        "budget t=1 b=1 readers=2\n"
+        "fault byz obj=0\n"
+        "fault byz obj=1\n");  // line 4: the (b+1)-th byz is the error
+    ASSERT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("line 4"), std::string::npos) << parsed.error;
+  }
+}
+
 }  // namespace
 }  // namespace rr::harness
