@@ -108,6 +108,13 @@ int replay(const harness::SweepEngine& engine, const std::string& key,
               verdict.ops_stuck,
               static_cast<unsigned long long>(verdict.events),
               static_cast<unsigned long long>(verdict.fingerprint));
+  if (verdict.hist_retired > 0) {
+    std::printf("checker residency: peak %llu op(s) live, %llu retired "
+                "online (window=%zu)\n",
+                static_cast<unsigned long long>(verdict.hist_peak_live),
+                static_cast<unsigned long long>(verdict.hist_retired),
+                scenario->checker_window);
+  }
   const bool unexpected = verdict.ok != scenario->expect_ok;
   if (!verdict.ok) {
     std::printf("failure%s: %s\n", unexpected ? "" : " (expected)",

@@ -4,9 +4,14 @@
 #include <map>
 #include <sstream>
 
+#include "checker/window.hpp"
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 
 namespace rr::checker {
+
+HistoryLog::HistoryLog() = default;
+HistoryLog::~HistoryLog() = default;
 
 std::size_t HistoryLog::record_invocation(OpRecord::Kind kind, int client,
                                           Time at, Value intended_value) {
@@ -17,41 +22,142 @@ std::size_t HistoryLog::record_invocation(OpRecord::Kind kind, int client,
   rec.invoked_at = at;
   rec.value = std::move(intended_value);
   ops_.push_back(std::move(rec));
-  return ops_.size() - 1;
+  const std::size_t handle = recorded_++;
+  peak_live_ = std::max<std::uint64_t>(peak_live_, ops_.size());
+  if (stream_) stream_on_invocation(*stream_, ops_.back(), handle);
+  return handle;
 }
 
 void HistoryLog::record_write_response(std::size_t handle, Time at, Ts ts,
                                        const Value& value) {
   std::lock_guard lock(mu_);
-  RR_ASSERT(handle < ops_.size());
-  auto& rec = ops_[handle];
+  RR_ASSERT(handle >= retired_base_ && handle < recorded_);
+  auto& rec = ops_[handle - retired_base_];
   RR_ASSERT(rec.kind == OpRecord::Kind::Write && !rec.complete);
   rec.responded_at = at;
   rec.complete = true;
   rec.ts = ts;
   rec.value = value;
+  ++completed_;
+  if (stream_) {
+    stream_on_response(*stream_, rec, handle);
+    maybe_retire_locked();
+  }
 }
 
 void HistoryLog::record_read_response(std::size_t handle, Time at,
                                       const TsVal& tsval) {
   std::lock_guard lock(mu_);
-  RR_ASSERT(handle < ops_.size());
-  auto& rec = ops_[handle];
+  RR_ASSERT(handle >= retired_base_ && handle < recorded_);
+  auto& rec = ops_[handle - retired_base_];
   RR_ASSERT(rec.kind == OpRecord::Kind::Read && !rec.complete);
   rec.responded_at = at;
   rec.complete = true;
   rec.ts = tsval.ts;
   rec.value = tsval.val;
+  ++completed_;
+  if (stream_) {
+    stream_on_response(*stream_, rec, handle);
+    maybe_retire_locked();
+  }
+}
+
+void HistoryLog::enable_window(std::size_t window, Property property) {
+  std::lock_guard lock(mu_);
+  RR_ASSERT_MSG(recorded_ == 0,
+                "enable_window() must run before the first recorded op");
+  RR_ASSERT(window >= 1);
+  stream_ = std::make_unique<StreamState>();
+  stream_->window = window;
+  stream_->property = property;
+}
+
+bool HistoryLog::windowed() const {
+  std::lock_guard lock(mu_);
+  return stream_ != nullptr;
+}
+
+Property HistoryLog::window_property() const {
+  std::lock_guard lock(mu_);
+  RR_ASSERT(stream_ != nullptr);
+  return stream_->property;
+}
+
+WindowStats HistoryLog::window_stats() const {
+  std::lock_guard lock(mu_);
+  WindowStats w;
+  w.window = stream_ ? stream_->window : 0;
+  w.retired = stream_ ? stream_->retired : 0;
+  w.peak_live = peak_live_;
+  w.live = ops_.size();
+  return w;
+}
+
+CheckReport HistoryLog::final_check() const {
+  std::lock_guard lock(mu_);
+  RR_ASSERT_MSG(stream_ != nullptr, "final_check() requires windowed mode");
+  return stream_final_check(*stream_, ops_);
+}
+
+void HistoryLog::maybe_retire_locked() {
+  if (ops_.size() < stream_->window) return;
+  retired_base_ += stream_attempt_retire(*stream_, ops_, retired_base_);
 }
 
 std::vector<OpRecord> HistoryLog::snapshot() const {
   std::lock_guard lock(mu_);
-  return ops_;
+  return std::vector<OpRecord>(ops_.begin(), ops_.end());
 }
 
-std::size_t HistoryLog::size() const {
+std::size_t HistoryLog::size() const { return recorded_total(); }
+
+std::size_t HistoryLog::recorded_total() const {
   std::lock_guard lock(mu_);
-  return ops_.size();
+  return recorded_;
+}
+
+std::size_t HistoryLog::completed_total() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::uint64_t HistoryLog::history_fingerprint() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t h = stream_ ? stream_->retired_fp : kHistoryFpSeed;
+  for (const auto& op : ops_) h = fp_fold_op(h, op);
+  return h;
+}
+
+std::uint64_t fp_fold(std::uint64_t h, std::uint64_t v) { return mix64(h ^ v); }
+
+std::uint64_t fp_fold_bytes(std::uint64_t h, const std::string& s) {
+  h = fp_fold(h, s.size());
+  // FNV-1a over the payload, folded in as one word: cheap and enough to
+  // catch any payload divergence.
+  std::uint64_t f = 1469598103934665603ULL;
+  for (const unsigned char c : s) f = (f ^ c) * 1099511628211ULL;
+  return fp_fold(h, f);
+}
+
+std::uint64_t fp_fold_op(std::uint64_t h, const OpRecord& op) {
+  h = fp_fold(h, (op.kind == OpRecord::Kind::Write ? 1u : 2u) ^
+                     (static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(op.client))
+                      << 8));
+  h = fp_fold(h, op.invoked_at);
+  h = fp_fold(h, op.responded_at);
+  h = fp_fold(h, op.complete ? op.ts : ~std::uint64_t{0});
+  h = fp_fold_bytes(h, op.value);
+  return h;
+}
+
+std::string describe_op(const OpRecord& op) {
+  std::ostringstream os;
+  os << (op.kind == OpRecord::Kind::Write ? "WRITE" : "READ") << "(client="
+     << op.client << ", ts=" << op.ts << ", value=\"" << op.value
+     << "\", invoked=" << op.invoked_at << ", responded="
+     << (op.complete ? std::to_string(op.responded_at) : "incomplete") << ")";
+  return os.str();
 }
 
 std::string CheckReport::summary() const {
@@ -90,14 +196,7 @@ bool concurrent(const OpRecord& a, const OpRecord& b) {
   return !precedes(a, b) && !precedes(b, a);
 }
 
-std::string describe(const OpRecord& op) {
-  std::ostringstream os;
-  os << (op.kind == OpRecord::Kind::Write ? "WRITE" : "READ") << "(client="
-     << op.client << ", ts=" << op.ts << ", value=\"" << op.value
-     << "\", invoked=" << op.invoked_at << ", responded="
-     << (op.complete ? std::to_string(op.responded_at) : "incomplete") << ")";
-  return os.str();
-}
+std::string describe(const OpRecord& op) { return describe_op(op); }
 
 /// Checks regularity condition (1): the returned <ts, value> corresponds to
 /// an actual write invocation (or the initial value).

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -25,6 +27,21 @@
 #include "common/types.hpp"
 
 namespace rr::checker {
+
+struct StreamState;  // windowed streaming checker (checker/window.hpp)
+
+/// Which register property the streaming checker verifies online. Mirrors
+/// harness::Semantics without depending on the harness layer.
+enum class Property { Safe, Regular, Atomic };
+
+/// Residency observability for one log (meaningful in both modes: with the
+/// window disabled `retired` is 0 and `peak_live` is simply the total).
+struct WindowStats {
+  std::size_t window{0};        ///< configured retirement batch size (0 = off)
+  std::uint64_t retired{0};     ///< ops verified and retired so far
+  std::uint64_t peak_live{0};   ///< high-watermark of resident (unretired) ops
+  std::uint64_t live{0};        ///< currently resident ops
+};
 
 struct OpRecord {
   enum class Kind { Write, Read };
@@ -41,27 +58,6 @@ struct OpRecord {
   Value value{};
 };
 
-/// Thread-safe append-only operation log (shared by the simulator harnesses
-/// and the threaded runtime).
-class HistoryLog {
- public:
-  /// Returns an opaque handle to later mark completion. For writes,
-  /// `intended_value` records the value being written so that a write left
-  /// incomplete by a crash can still be matched against concurrent reads.
-  std::size_t record_invocation(OpRecord::Kind kind, int client, Time at,
-                                Value intended_value = {});
-  void record_write_response(std::size_t handle, Time at, Ts ts,
-                             const Value& value);
-  void record_read_response(std::size_t handle, Time at, const TsVal& tsval);
-
-  [[nodiscard]] std::vector<OpRecord> snapshot() const;
-  [[nodiscard]] std::size_t size() const;
-
- private:
-  mutable std::mutex mu_;
-  std::vector<OpRecord> ops_;
-};
-
 /// Result of a consistency check; empty `violations` means the property
 /// holds on the given history.
 struct CheckReport {
@@ -72,6 +68,91 @@ struct CheckReport {
   [[nodiscard]] bool ok() const { return violations.empty(); }
   [[nodiscard]] std::string summary() const;
 };
+
+/// Thread-safe append-only operation log (shared by the simulator harnesses
+/// and the threaded runtime).
+///
+/// Two modes. In the default batch mode every op is retained forever and the
+/// free-function checkers below run post-hoc over `snapshot()`. With
+/// `enable_window()` the log becomes a *streaming* checker: once every op
+/// that could overlap the oldest resident op has completed, that op is
+/// verified online (same conditions, same violation messages as the batch
+/// checkers) and retired, so steady-state memory is O(window + in-flight)
+/// and a soak can run forever. `final_check()` then combines the retired
+/// prefix's verdict with a batch pass over the residual suffix.
+class HistoryLog {
+ public:
+  HistoryLog();
+  ~HistoryLog();
+  HistoryLog(const HistoryLog&) = delete;
+  HistoryLog& operator=(const HistoryLog&) = delete;
+
+  /// Returns an opaque handle to later mark completion. For writes,
+  /// `intended_value` records the value being written so that a write left
+  /// incomplete by a crash can still be matched against concurrent reads.
+  std::size_t record_invocation(OpRecord::Kind kind, int client, Time at,
+                                Value intended_value = {});
+  void record_write_response(std::size_t handle, Time at, Ts ts,
+                             const Value& value);
+  void record_read_response(std::size_t handle, Time at, const TsVal& tsval);
+
+  /// Switches to windowed streaming mode. Must be called before the first
+  /// op is recorded; `property` fixes what the streaming verifier checks
+  /// (it cannot be changed later -- retired ops are gone). Retirement is
+  /// attempted whenever more than `window` ops are resident; an op is only
+  /// retired once nothing live or future can overlap it, so a stuck
+  /// (incomplete) op pins the window -- retirement never outruns what is
+  /// verifiable.
+  void enable_window(std::size_t window, Property property);
+
+  [[nodiscard]] bool windowed() const;
+  /// The property fixed by enable_window(); requires windowed().
+  [[nodiscard]] Property window_property() const;
+  [[nodiscard]] WindowStats window_stats() const;
+
+  /// Windowed mode only: the retired prefix's accumulated verdict plus a
+  /// batch pass over the residual ops, assembled exactly like
+  /// check_well_formed + the property checker on the full history. Const:
+  /// may be called repeatedly, always over the current state.
+  [[nodiscard]] CheckReport final_check() const;
+
+  /// Residual (unretired) ops. In batch mode this is the full history.
+  [[nodiscard]] std::vector<OpRecord> snapshot() const;
+  /// Total ops ever recorded (including retired).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t recorded_total() const;
+  [[nodiscard]] std::size_t completed_total() const;
+
+  /// Order-exact fold over the full history (retired prefix's running fold
+  /// continued over the residual), seeded with kHistoryFpSeed. Identical
+  /// with the window on or off -- the sweep's DES fingerprints rely on it.
+  [[nodiscard]] std::uint64_t history_fingerprint() const;
+
+ private:
+  void maybe_retire_locked();
+
+  mutable std::mutex mu_;
+  std::deque<OpRecord> ops_;     ///< residual ops; front is the oldest
+  std::size_t retired_base_{0};  ///< handles below this index are retired
+  std::size_t recorded_{0};
+  std::size_t completed_{0};
+  std::uint64_t peak_live_{0};
+  std::unique_ptr<StreamState> stream_;  ///< null in batch mode
+};
+
+/// Seed of the per-log history fingerprint fold (arbitrary nonzero).
+inline constexpr std::uint64_t kHistoryFpSeed = 0x243f6a8885a308d3ULL;
+
+/// Order-sensitive fold used for history fingerprints (shared with the
+/// sweep so windowed retirement can reproduce it incrementally).
+[[nodiscard]] std::uint64_t fp_fold(std::uint64_t h, std::uint64_t v);
+[[nodiscard]] std::uint64_t fp_fold_bytes(std::uint64_t h,
+                                          const std::string& s);
+[[nodiscard]] std::uint64_t fp_fold_op(std::uint64_t h, const OpRecord& op);
+
+/// Human-readable one-line rendering of an op (shared by the batch and
+/// streaming checkers so violation messages are bit-identical).
+[[nodiscard]] std::string describe_op(const OpRecord& op);
 
 [[nodiscard]] CheckReport check_safety(const std::vector<OpRecord>& ops);
 [[nodiscard]] CheckReport check_regularity(const std::vector<OpRecord>& ops);

@@ -1,0 +1,321 @@
+#include "checker/window.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rr::checker {
+
+namespace {
+
+using Kind = OpRecord::Kind;
+
+/// op1 (complete) precedes op2 iff op1 responded before op2 was invoked.
+bool precedes(const OpRecord& op1, const OpRecord& op2) {
+  return op1.complete && op1.responded_at < op2.invoked_at;
+}
+
+/// WRITE_k if it is still retained; nullptr when k is below the value floor
+/// (the caller has already guaranteed k <= writes_invoked).
+const OpRecord* write_by_k(const StreamState& st, std::uint64_t k) {
+  if (k <= st.floor_k || k - st.floor_k > st.ring.size()) return nullptr;
+  return &st.ring[static_cast<std::size_t>(k - st.floor_k - 1)];
+}
+
+/// Max ts among complete writes that precede an op invoked at `invoked`.
+/// Ring writes are invocation-ordered with responses ascending over the
+/// complete prefix (the writer is sequential), and every evicted write
+/// precedes any op still unverified, so the ring answers the query exactly.
+Ts max_preceding(const StreamState& st, Time invoked) {
+  auto it = std::partition_point(
+      st.ring.begin(), st.ring.end(), [invoked](const OpRecord& w) {
+        return w.complete && w.responded_at < invoked;
+      });
+  if (it == st.ring.begin()) return 0;
+  return (it - 1)->ts;
+}
+
+/// Whether any write overlaps `rd`. Candidates are writes invoked no later
+/// than rd's response; among them responses ascend, so only the last can
+/// fail to precede rd. Evicted writes all precede everything unverified.
+bool has_concurrent_write(const StreamState& st, const OpRecord& rd) {
+  auto it = std::partition_point(
+      st.ring.begin(), st.ring.end(), [&rd](const OpRecord& w) {
+        return w.invoked_at <= rd.responded_at;
+      });
+  if (it == st.ring.begin()) return false;
+  const OpRecord& w = *(it - 1);
+  return !(w.complete && w.responded_at < rd.invoked_at);
+}
+
+/// Regularity condition (1) with a windowed write table. Returns 1 when the
+/// returned <ts, value> names a real write (or the initial value), 0 with
+/// `*why` set on a violation, and 2 when ts is below the value floor -- the
+/// payload is gone, condition (1) is assumed to hold, and condition (2) is
+/// guaranteed to fire instead (a retained later write wholly precedes the
+/// read). `final_pass` permits the ts-beyond-all-writes verdict, which
+/// during the run is deferred by the hold rule (the write may still come).
+int value_was_written(const StreamState& st, const OpRecord& rd,
+                      bool final_pass, std::string* why) {
+  if (rd.ts == 0) {
+    if (!rd.value.empty()) {
+      *why = "returned timestamp 0 with non-initial value";
+      return 0;
+    }
+    return 1;
+  }
+  if (rd.ts > st.writes_invoked) {
+    RR_ASSERT_MSG(final_pass,
+                  "hold rule must defer reads naming not-yet-invoked writes");
+    *why = "returned timestamp larger than any invoked write";
+    return 0;
+  }
+  const OpRecord* wr = write_by_k(st, rd.ts);
+  if (wr == nullptr) return 2;
+  if (wr->value != rd.value) {
+    *why = "returned value differs from the value written at that timestamp";
+    return 0;
+  }
+  return 1;
+}
+
+/// Max-ts retired/earlier read that responded before `before`.
+const StreamState::ReadMark* skyline_query(
+    const std::deque<StreamState::ReadMark>& sky, Time before) {
+  auto it = std::partition_point(
+      sky.begin(), sky.end(),
+      [before](const StreamState::ReadMark& m) { return m.responded < before; });
+  if (it == sky.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+void skyline_insert(std::deque<StreamState::ReadMark>& sky, Time responded,
+                    Ts ts, std::string desc) {
+  // Dominated by an existing mark (earlier-or-equal response, >= ts)?
+  if (const auto* m = skyline_query(sky, responded + 1); m && m->ts >= ts) {
+    return;
+  }
+  // Remove marks the new one dominates, then insert; the skyline stays
+  // responded-ascending and ts-ascending.
+  auto it = std::partition_point(
+      sky.begin(), sky.end(),
+      [responded](const StreamState::ReadMark& m) {
+        return m.responded < responded;
+      });
+  while (it != sky.end() && it->ts <= ts) it = sky.erase(it);
+  sky.insert(it, StreamState::ReadMark{responded, ts, std::move(desc)});
+}
+
+/// Drops summary entries that every still-unverified op is past. `bound` is
+/// the invocation time of the oldest unverified op.
+void compact(StreamState& st, Time bound) {
+  while (st.ring.size() >= 2 && st.ring[0].complete && st.ring[1].complete &&
+         st.ring[1].responded_at < bound) {
+    st.ring.pop_front();
+    ++st.floor_k;
+  }
+  while (st.read_skyline.size() >= 2 && st.read_skyline[1].responded < bound) {
+    st.read_skyline.pop_front();
+  }
+}
+
+/// Well-formedness, one op at a time in log order. Mirrors
+/// check_well_formed: writer timestamps dense, per-client ops non-overlapping.
+void wf_observe(const OpRecord& op, std::uint64_t* wf_write_k,
+                std::map<std::pair<int, int>, StreamState::ClientTail>* clients,
+                std::vector<std::string>* wf_density) {
+  if (op.kind == Kind::Write) {
+    ++*wf_write_k;
+    if (op.complete && op.ts != *wf_write_k) {
+      wf_density->push_back("write timestamps not dense: expected " +
+                            std::to_string(*wf_write_k) + ", " +
+                            describe_op(op));
+    }
+  }
+  auto& tail = (*clients)[{op.kind == Kind::Write ? 0 : 1, op.client}];
+  if (tail.has &&
+      (!tail.last.complete || tail.last.responded_at > op.invoked_at)) {
+    tail.violations.push_back("client ops overlap: " + describe_op(tail.last) +
+                              " vs " + describe_op(op));
+  }
+  tail.last = op;
+  tail.has = true;
+}
+
+/// Verifies one complete read against the windowed summaries, emitting the
+/// batch checkers' exact messages. `sky` is passed explicitly so the final
+/// pass can extend a local copy without mutating the stream state.
+void verify_read(const StreamState& st,
+                 const std::deque<StreamState::ReadMark>& sky,
+                 const OpRecord& rd, bool final_pass,
+                 std::vector<std::string>* semantic,
+                 std::vector<std::string>* inversions,
+                 std::uint64_t* reads_checked) {
+  RR_ASSERT(rd.complete);
+  if (st.property == Property::Safe) {
+    // Safety constrains only reads that are concurrent with no write.
+    if (has_concurrent_write(st, rd)) return;
+    ++*reads_checked;
+    const Ts last_preceding = max_preceding(st, rd.invoked_at);
+    if (rd.ts != last_preceding) {
+      semantic->push_back("safety: read returned ts " + std::to_string(rd.ts) +
+                          " but the last preceding write has ts " +
+                          std::to_string(last_preceding) + ": " +
+                          describe_op(rd));
+      return;
+    }
+    std::string why;
+    if (value_was_written(st, rd, final_pass, &why) == 0) {
+      semantic->push_back("safety: " + why + ": " + describe_op(rd));
+    }
+    return;
+  }
+
+  ++*reads_checked;
+  std::string why;
+  const int written = value_was_written(st, rd, final_pass, &why);
+  if (written == 0) {
+    semantic->push_back("regularity(1): " + why + ": " + describe_op(rd));
+  } else {
+    // Condition (2): a read succeeding WRITE_k returns val_l with l >= k.
+    const Ts maxp = max_preceding(st, rd.invoked_at);
+    if (rd.ts < maxp) {
+      semantic->push_back("regularity(2): read returned ts " +
+                          std::to_string(rd.ts) + " although WRITE with ts " +
+                          std::to_string(maxp) +
+                          " precedes it: " + describe_op(rd));
+    }
+    // Condition (3): a read returning val_k does not precede WRITE_k.
+    // Below-floor writes were invoked before everything unverified, so the
+    // ring covers every write the read could precede.
+    if (rd.ts >= 1 && rd.ts <= st.writes_invoked) {
+      if (const OpRecord* wr = write_by_k(st, rd.ts);
+          wr != nullptr && precedes(rd, *wr)) {
+        semantic->push_back(
+            "regularity(3): read returned a value whose write was invoked "
+            "only after the read responded: " +
+            describe_op(rd));
+      }
+    }
+  }
+
+  if (st.property == Property::Atomic) {
+    if (const auto* m = skyline_query(sky, rd.invoked_at);
+        m != nullptr && rd.ts < m->ts) {
+      inversions->push_back("atomicity: new-old inversion: " + m->desc +
+                            " precedes " + describe_op(rd));
+    }
+  }
+}
+
+}  // namespace
+
+void stream_on_invocation(StreamState& st, const OpRecord& op,
+                          std::size_t handle) {
+  st.last_seen = std::max(st.last_seen, op.invoked_at);
+  st.incomplete.push_back(handle);
+  if (op.kind == Kind::Write) {
+    ++st.writes_invoked;
+    st.write_k_by_handle.emplace(handle, st.writes_invoked);
+    st.ring.push_back(op);
+  }
+}
+
+void stream_on_response(StreamState& st, const OpRecord& op,
+                        std::size_t handle) {
+  st.last_seen = std::max(st.last_seen, op.responded_at);
+  if (auto it = std::find(st.incomplete.begin(), st.incomplete.end(), handle);
+      it != st.incomplete.end()) {
+    *it = st.incomplete.back();
+    st.incomplete.pop_back();
+  }
+  if (op.kind == Kind::Write) {
+    const auto it = st.write_k_by_handle.find(handle);
+    RR_ASSERT(it != st.write_k_by_handle.end());
+    const std::uint64_t k = it->second;
+    st.write_k_by_handle.erase(it);
+    // The entry cannot have been evicted: incomplete writes block the floor.
+    OpRecord* slot = const_cast<OpRecord*>(write_by_k(st, k));
+    RR_ASSERT(slot != nullptr);
+    *slot = op;
+  }
+}
+
+std::size_t stream_attempt_retire(StreamState& st, std::deque<OpRecord>& ops,
+                                  std::size_t base) {
+  // Frontier: nothing live responds before its own invocation, and nothing
+  // future is invoked before the latest event already seen, so every op that
+  // responded strictly before this bound is overlap-free with the rest of
+  // the run.
+  Time frontier = st.last_seen;
+  for (const std::size_t h : st.incomplete) {
+    frontier = std::min(frontier, ops[h - base].invoked_at);
+  }
+
+  std::size_t count = 0;
+  while (!ops.empty()) {
+    const OpRecord& op = ops.front();
+    if (!op.complete || op.responded_at >= frontier) break;
+    // Hold rule: a read naming a write that has not been invoked yet is
+    // unverifiable -- the write may still arrive. It (and everything after
+    // it) stays resident until the writer catches up or the run ends.
+    if (op.kind == Kind::Read && op.ts > st.writes_invoked) break;
+
+    compact(st, op.invoked_at);
+    wf_observe(op, &st.wf_write_k, &st.clients, &st.wf_density);
+    if (op.kind == Kind::Write) {
+      ++st.writes_checked;
+    } else {
+      verify_read(st, st.read_skyline, op, /*final_pass=*/false, &st.semantic,
+                  &st.inversions, &st.reads_checked);
+      if (st.property == Property::Atomic) {
+        skyline_insert(st.read_skyline, op.responded_at, op.ts,
+                       describe_op(op));
+      }
+    }
+    st.retired_fp = fp_fold_op(st.retired_fp, op);
+    ++st.retired;
+    ops.pop_front();
+    ++count;
+  }
+  return count;
+}
+
+CheckReport stream_final_check(const StreamState& st,
+                               const std::deque<OpRecord>& ops) {
+  // Local continuations of the mutable context so this stays repeatable.
+  auto clients = st.clients;
+  auto wf_density = st.wf_density;
+  auto sky = st.read_skyline;
+  std::uint64_t wf_write_k = st.wf_write_k;
+  std::vector<std::string> semantic = st.semantic;
+  std::vector<std::string> inversions = st.inversions;
+  std::uint64_t reads_checked = st.reads_checked;
+
+  for (const auto& op : ops) {
+    wf_observe(op, &wf_write_k, &clients, &wf_density);
+    if (op.kind == Kind::Read && op.complete) {
+      verify_read(st, sky, op, /*final_pass=*/true, &semantic, &inversions,
+                  &reads_checked);
+      if (st.property == Property::Atomic) {
+        skyline_insert(sky, op.responded_at, op.ts, describe_op(op));
+      }
+    }
+  }
+
+  // Assemble like Deployment's batch path: well-formedness first (density,
+  // then per-client in map order), then the semantic checker's violations,
+  // with the report counts coming from the semantic pass.
+  CheckReport report;
+  report.reads_checked = static_cast<int>(reads_checked);
+  report.writes_checked = static_cast<int>(st.writes_invoked);
+  report.violations = std::move(wf_density);
+  for (auto& [key, tail] : clients) {
+    for (auto& v : tail.violations) report.violations.push_back(std::move(v));
+  }
+  for (auto& v : semantic) report.violations.push_back(std::move(v));
+  for (auto& v : inversions) report.violations.push_back(std::move(v));
+  return report;
+}
+
+}  // namespace rr::checker

@@ -1,0 +1,118 @@
+// Windowed streaming checker: the state and verification routines behind
+// HistoryLog's windowed mode (checker/history.hpp).
+//
+// Design. Ops are appended in invocation order. The *frontier* is a lower
+// bound on the invocation time of every op that is still running or not yet
+// invoked: min(invocation of every incomplete resident op, latest event time
+// seen). Any complete op that responded strictly before the frontier can no
+// longer overlap anything live or future, so once the whole residual prefix
+// up to it is complete it can be verified and retired. What retirement keeps
+// is O(window):
+//
+//   - a dense ring of the writes that reads may still legally return
+//     (everything above the value floor: once a later write wholly precedes
+//     every live/future op, older writes can only be returned by reads that
+//     already violate regularity(2), so their payloads can be dropped);
+//   - for atomicity, a "skyline" of retired reads (responded ascending, ts
+//     ascending) answering "max ts among reads that responded before T";
+//   - per-client tails for the overlap half of well-formedness, and the
+//     density counter for writer timestamps;
+//   - the running history-fingerprint fold over the retired prefix.
+//
+// Verification at retirement reuses the batch checkers' exact conditions and
+// message strings, and the final check walks the residual in log order, so
+// verdicts and fingerprints are bit-identical to batch mode. Two documented
+// divergences, both outside what honest protocols can produce: a read
+// returning a below-floor timestamp with a *forged value* is reported as the
+// regularity(2) violation it also is (batch reports regularity(1)); and an
+// atomicity inversion is reported once per late read against the strongest
+// retired predecessor rather than once per (r1, r2) pair.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "checker/history.hpp"
+#include "common/types.hpp"
+
+namespace rr::checker {
+
+struct StreamState {
+  Property property{Property::Regular};
+  std::size_t window{0};
+
+  // Dense write table: invocation index k (1-based) identifies WRITE_k.
+  // `ring` holds every write with k > floor_k (front is write floor_k + 1),
+  // updated in place when the write completes. The front entry is the value
+  // floor: the last write already known to wholly precede every op that is
+  // still unverified.
+  std::uint64_t writes_invoked{0};
+  std::uint64_t floor_k{0};
+  std::deque<OpRecord> ring;
+  /// k for writes whose response is still pending (writer clients are
+  /// sequential, so this stays tiny).
+  std::unordered_map<std::size_t, std::uint64_t> write_k_by_handle;
+
+  /// Absolute handles of resident incomplete ops (bounded by the number of
+  /// client stations -- each runs one op at a time).
+  std::vector<std::size_t> incomplete;
+  Time last_seen{0};
+
+  /// Retired-read skyline for atomicity: responded ascending, ts strictly
+  /// ascending; `desc` is the describe_op() of the read achieving the max
+  /// (kept so inversion messages can name the earlier read).
+  struct ReadMark {
+    Time responded{0};
+    Ts ts{0};
+    std::string desc;
+  };
+  std::deque<ReadMark> read_skyline;
+
+  // Well-formedness carried across retirement.
+  std::uint64_t wf_write_k{0};  ///< writer-density counter (writes consumed)
+  struct ClientTail {
+    OpRecord last{};
+    bool has{false};
+    std::vector<std::string> violations;
+  };
+  /// Keyed like the batch checker: {0, client} for writers, {1, client}
+  /// for readers, so assembling violations in map order reproduces the
+  /// batch report's client-major ordering.
+  std::map<std::pair<int, int>, ClientTail> clients;
+  std::vector<std::string> wf_density;
+
+  /// Semantic violations discovered at retirement, in log order.
+  std::vector<std::string> semantic;
+  /// Atomicity inversions (batch appends these after all regularity
+  /// violations, so they are accumulated separately).
+  std::vector<std::string> inversions;
+
+  std::uint64_t retired{0};
+  std::uint64_t reads_checked{0};
+  std::uint64_t writes_checked{0};
+  std::uint64_t retired_fp{kHistoryFpSeed};
+};
+
+/// Hooks called by HistoryLog under its lock.
+void stream_on_invocation(StreamState& st, const OpRecord& op,
+                          std::size_t handle);
+void stream_on_response(StreamState& st, const OpRecord& op,
+                        std::size_t handle);
+
+/// Verifies and retires the longest eligible prefix of `ops` (popping from
+/// the front); returns how many ops were retired. `base` is the absolute
+/// handle of ops.front().
+std::size_t stream_attempt_retire(StreamState& st, std::deque<OpRecord>& ops,
+                                  std::size_t base);
+
+/// The retired prefix's verdict plus a batch-order pass over the residual.
+/// Pure: does not mutate `st`, so it can be called repeatedly.
+[[nodiscard]] CheckReport stream_final_check(const StreamState& st,
+                                             const std::deque<OpRecord>& ops);
+
+}  // namespace rr::checker

@@ -1,5 +1,6 @@
 #include "harness/deployment.hpp"
 
+#include <algorithm>
 #include <type_traits>
 #include <utility>
 
@@ -123,6 +124,14 @@ void Deployment::build() {
   logs_.reserve(static_cast<std::size_t>(K));
   for (int s = 0; s < K; ++s) {
     logs_.push_back(std::make_unique<checker::HistoryLog>());
+    if (opts_.checker_window > 0) {
+      // The verified property is fixed now (retired ops are gone by check
+      // time): the explicit override if given, else the protocol's promise.
+      logs_.back()->enable_window(
+          opts_.checker_window,
+          to_property(opts_.checker_semantics.value_or(
+              promised_semantics(opts_.protocol))));
+    }
   }
 
   // Gray-failure library: install link faults (rewriting object-index
@@ -267,9 +276,43 @@ checker::CheckReport Deployment::check_shard(int shard) const {
   return check_shard(shard, promised_semantics(opts_.protocol));
 }
 
+checker::Property to_property(Semantics s) {
+  switch (s) {
+    case Semantics::Safe: return checker::Property::Safe;
+    case Semantics::Regular: return checker::Property::Regular;
+    case Semantics::Atomic: return checker::Property::Atomic;
+  }
+  return checker::Property::Regular;  // unreachable
+}
+
+checker::WindowStats Deployment::checker_stats(int shard) const {
+  RR_ASSERT(shard >= 0 && shard < opts_.shards);
+  return logs_[static_cast<std::size_t>(shard)]->window_stats();
+}
+
+checker::WindowStats Deployment::checker_stats() const {
+  checker::WindowStats agg;
+  for (int shard = 0; shard < opts_.shards; ++shard) {
+    const auto w = checker_stats(shard);
+    agg.window = std::max(agg.window, w.window);
+    agg.retired += w.retired;
+    agg.peak_live = std::max(agg.peak_live, w.peak_live);
+    agg.live += w.live;
+  }
+  return agg;
+}
+
 checker::CheckReport Deployment::check_shard(int shard, Semantics s) const {
   RR_ASSERT(shard >= 0 && shard < opts_.shards);
-  const auto ops = logs_[static_cast<std::size_t>(shard)]->snapshot();
+  auto& log = *logs_[static_cast<std::size_t>(shard)];
+  if (log.windowed()) {
+    // Retired ops can only have been verified against the property fixed at
+    // construction; checking anything else would silently skip the prefix.
+    RR_ASSERT_MSG(log.window_property() == to_property(s),
+                  "windowed checker was configured for a different semantics");
+    return log.final_check();
+  }
+  const auto ops = log.snapshot();
   auto report = checker::check_well_formed(ops);
   checker::CheckReport semantic;
   switch (s) {

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,7 +97,19 @@ struct DeploymentOptions {
   /// BackendConfig::max_wall_time_ms -- a stalled run reports through
   /// Backend::timed_out() instead of aborting.
   std::uint64_t thread_max_wall_ms{0};
+  /// Windowed streaming checker: when nonzero, each shard's HistoryLog
+  /// verifies and retires ops online once nothing live or future can
+  /// overlap them, keeping checker memory O(window + in-flight) so soaks
+  /// can run forever. 0 keeps the classic keep-everything batch checker.
+  std::size_t checker_window{0};
+  /// Property the windowed checker verifies (defaults to the protocol's
+  /// promised semantics). Ignored when checker_window == 0; with the window
+  /// on, check()/check_shard() must be called with this same semantics.
+  std::optional<Semantics> checker_semantics{};
 };
+
+/// harness::Semantics -> checker::Property (the checker layer's mirror).
+[[nodiscard]] checker::Property to_property(Semantics s);
 
 class Deployment {
  public:
@@ -171,6 +184,12 @@ class Deployment {
   [[nodiscard]] checker::CheckReport check_shard(int shard) const;
   [[nodiscard]] checker::CheckReport check_shard(int shard,
                                                  Semantics s) const;
+
+  /// Windowed-checker residency for one shard (meaningful in batch mode
+  /// too: retired is 0 and peak_live is the total recorded).
+  [[nodiscard]] checker::WindowStats checker_stats(int shard) const;
+  /// Aggregate across shards: retired/live sum, peak_live is the max.
+  [[nodiscard]] checker::WindowStats checker_stats() const;
 
   /// Protocol-agnostic client handles (shard-indexed).
   [[nodiscard]] core::WriterClient& writer_client(int shard = 0);

@@ -111,6 +111,29 @@ Scenario ScenarioFuzzer::generate(std::uint64_t index) const {
   // then degrades to a liveness verdict instead of hanging the lane.
   if (s.backend == BackendKind::Threads) s.max_wall_ms = 20'000;
 
+  // Open-loop arrival draw (~30% of non-overload cells): shape, population
+  // and think time together are the client-churn knob -- diurnal ramps the
+  // arrival rate across the horizon, bursty turns the population on and off
+  // in duty cycles. Overload cells stay closed-loop: the stall argument
+  // above leans on the chained workload's gap structure. The windowed
+  // checker toggles independently (~50%), including over closed loops, so
+  // the fuzz lane continuously cross-checks streaming against batch
+  // verdicts.
+  if (!overload && rng.chance(0.3)) {
+    constexpr ArrivalKind kOpen[] = {ArrivalKind::Poisson,
+                                     ArrivalKind::Bursty,
+                                     ArrivalKind::Diurnal};
+    s.arrival = kOpen[rng.index(std::size(kOpen))];
+    s.clients = rng.uniform(64, 512);
+    s.think = rng.uniform(20'000, 80'000);
+    s.horizon = rng.uniform(60'000, 200'000);
+    s.write_fraction = 0.05 * static_cast<double>(rng.uniform(2, 8));
+  }
+  if (!overload && rng.chance(0.5)) {
+    s.checker_window =
+        static_cast<std::size_t>(1) << rng.uniform(4, 7);  // 16..128
+  }
+
   if (overload) {
     // t+1 timed crashes: every protocol waits on S - t live objects, so
     // one crash past the budget makes quorums permanently unreachable.

@@ -309,8 +309,10 @@ ScenarioParseResult parse_scenario(std::string_view text) {
       }
     } else if (directive == "workload") {
       const KvArgs kv(tokens, 1);
-      if (const auto k = kv.unknown_key(
-              {"writes", "reads", "write_gap", "read_gap", "shards"});
+      if (const auto k = kv.unknown_key({"writes", "reads", "write_gap",
+                                         "read_gap", "shards", "arrival",
+                                         "clients", "think", "horizon",
+                                         "write_frac", "window"});
           !k.empty()) {
         return fail(line_no, "unknown key '" + k + "'");
       }
@@ -336,6 +338,55 @@ ScenarioParseResult parse_scenario(std::string_view text) {
         if (!parse_int(*v, &s.shards) || s.shards < 1) {
           return fail(line_no, "bad shards");
         }
+      }
+      // Open-loop keys (docs/WORKLOADS.md). `arrival=` selects the process;
+      // the population/horizon keys are only legal once it is open, so an
+      // emitted scenario (which drops them at their defaults) re-parses to
+      // the same Scenario value.
+      if (const auto* v = kv.find("arrival")) {
+        const auto a = arrival_from_name(*v);
+        if (!a) {
+          return fail(line_no, "unknown arrival '" + *v +
+                                   "' (closed|poisson|bursty|diurnal)");
+        }
+        s.arrival = *a;
+      }
+      if (const auto* v = kv.find("clients")) {
+        if (!parse_u64(*v, &s.clients) || s.clients == 0) {
+          return fail(line_no, "bad clients (want >= 1)");
+        }
+      }
+      if (const auto* v = kv.find("think")) {
+        if (!parse_time(*v, &s.think) || s.think == 0) {
+          return fail(line_no, "bad think (want a time >= 1)");
+        }
+      }
+      if (const auto* v = kv.find("horizon")) {
+        if (!parse_time(*v, &s.horizon) || s.horizon == 0) {
+          return fail(line_no, "bad horizon (want a time >= 1)");
+        }
+      }
+      if (const auto* v = kv.find("write_frac")) {
+        if (!parse_rate(*v, &s.write_fraction) || s.write_fraction < 0 ||
+            s.write_fraction > 1) {
+          return fail(line_no, "bad write_frac (want a fraction in [0, 1])");
+        }
+      }
+      if (s.arrival == ArrivalKind::Closed) {
+        for (const char* key : {"clients", "think", "horizon", "write_frac"}) {
+          if (kv.find(key) != nullptr) {
+            return fail(line_no, std::string(key) +
+                                     "= needs an open arrival process "
+                                     "(arrival=poisson|bursty|diurnal)");
+          }
+        }
+      }
+      if (const auto* v = kv.find("window")) {
+        std::uint64_t window = 0;
+        if (!parse_u64(*v, &window)) {
+          return fail(line_no, "bad window (want 0 = batch, or >= 1)");
+        }
+        s.checker_window = static_cast<std::size_t>(window);
       }
     } else if (directive == "check") {
       if (tokens.size() != 2) {
@@ -704,6 +755,22 @@ std::string emit_scenario(const Scenario& s) {
        " reads=" + std::to_string(s.reads_per_reader) +
        " write_gap=" + t(s.write_gap) + " read_gap=" + t(s.read_gap) +
        " shards=" + std::to_string(s.shards));
+  // Open-loop / windowed-checker keys: emitted only when off-default, so
+  // pre-existing scenario files stay byte-identical.
+  if (s.arrival != ArrivalKind::Closed || s.checker_window != 0) {
+    std::string l = "workload";
+    if (s.arrival != ArrivalKind::Closed) {
+      l += std::string(" arrival=") + to_string(s.arrival);
+      l += " clients=" + std::to_string(s.clients);
+      l += " think=" + t(s.think);
+      l += " horizon=" + t(s.horizon);
+      l += " write_frac=" + fmt_double(s.write_fraction);
+    }
+    if (s.checker_window != 0) {
+      l += " window=" + std::to_string(s.checker_window);
+    }
+    line(l);
+  }
   if (s.check_override) {
     line(std::string("check ") + semantics_name(*s.check_override));
   }

@@ -35,15 +35,6 @@ std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
   return mix64(h ^ v);
 }
 
-std::uint64_t fold_bytes(std::uint64_t h, const std::string& s) {
-  h = fold(h, s.size());
-  // FNV-1a over the payload, folded in as one word: cheap and enough to
-  // distinguish any two histories the checkers could tell apart.
-  std::uint64_t f = 0xcbf29ce484222325ULL;
-  for (const unsigned char c : s) f = (f ^ c) * 0x100000001b3ULL;
-  return fold(h, f);
-}
-
 /// The cell's master seed: a pure function of the cell key coordinates, so
 /// replay-by-key reproduces the exact schedule regardless of plan grid
 /// enumeration or worker count.
@@ -442,6 +433,8 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
   opts.thread_max_wall_ms = s.max_wall_ms;
   opts.history_limit = s.history_limit;
   opts.history_gc = s.history_gc;
+  opts.checker_window = s.checker_window;
+  opts.checker_semantics = s.check_override;
   opts.link_faults.seed = fold(opts.seed, 0x11f5ULL);
   for (const auto& ev : s.events) {
     switch (ev.kind) {
@@ -627,12 +620,25 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
     }
   }
 
-  MixedWorkloadOptions w;
-  w.writes = s.writes;
-  w.reads_per_reader = s.reads_per_reader;
-  w.write_gap = s.write_gap;
-  w.read_gap = s.read_gap;
-  mixed_workload(d, w);
+  std::unique_ptr<OpenLoopEngine> engine;
+  if (s.arrival != ArrivalKind::Closed) {
+    OpenLoopOptions ol;
+    ol.arrival = s.arrival;
+    ol.clients = s.clients;
+    ol.mean_think = s.think;
+    ol.horizon = s.horizon;
+    ol.write_fraction = s.write_fraction;
+    ol.seed = fold(opts.seed, 0x09e7ULL);
+    engine = std::make_unique<OpenLoopEngine>(d, ol);
+    engine->launch();
+  } else {
+    MixedWorkloadOptions w;
+    w.writes = s.writes;
+    w.reads_per_reader = s.reads_per_reader;
+    w.write_gap = s.write_gap;
+    w.read_gap = s.read_gap;
+    mixed_workload(d, w);
+  }
   const std::uint64_t events = d.run();
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -667,24 +673,19 @@ CellVerdict SweepEngine::run_cell(const Scenario& s) {
       }
     }
   }
-  std::uint64_t history_fp = 0x243f6a8885a308d3ULL;  // arbitrary nonzero
+  // Per-shard composition: each shard's HistoryLog folds its own ops (the
+  // retired prefix online, the residual on demand), so windowed and batch
+  // cells compute identical values without ever materializing a retired op.
+  std::uint64_t history_fp = checker::kHistoryFpSeed;
   for (int shard = 0; shard < d.shards(); ++shard) {
-    for (const auto& op : d.log(shard).snapshot()) {
-      if (op.complete) {
-        ++v.ops_complete;
-      } else {
-        ++v.ops_stuck;
-      }
-      history_fp = fold(history_fp,
-                        (op.kind == checker::OpRecord::Kind::Write ? 1u : 2u) ^
-                            (static_cast<std::uint64_t>(
-                                 static_cast<std::uint32_t>(op.client))
-                             << 8));
-      history_fp = fold(history_fp, op.invoked_at);
-      history_fp = fold(history_fp, op.responded_at);
-      history_fp = fold(history_fp, op.complete ? op.ts : ~std::uint64_t{0});
-      history_fp = fold_bytes(history_fp, op.value);
-    }
+    const auto& log = d.log(shard);
+    v.ops_complete += static_cast<int>(log.completed_total());
+    v.ops_stuck +=
+        static_cast<int>(log.recorded_total() - log.completed_total());
+    history_fp = fold(history_fp, log.history_fingerprint());
+    const auto wstats = d.checker_stats(shard);
+    v.hist_peak_live = std::max(v.hist_peak_live, wstats.peak_live);
+    v.hist_retired += wstats.retired;
   }
   v.ok = report.ok() && v.ops_stuck == 0 && !backend.timed_out();
   if (v.first_violation.empty() && !v.ok) {
@@ -909,6 +910,7 @@ bool SweepEngine::write_json(const SweepReport& report, const SweepPlan& plan,
         "\"violations\": %d, "
         "\"ops\": %d, \"stuck\": %d, \"events\": %llu, \"msgs\": %llu, "
         "\"bytes\": %llu, \"write_p95\": %llu, \"read_p95\": %llu, "
+        "\"hist_peak\": %llu, \"hist_retired\": %llu, "
         "\"fingerprint\": \"%016llx\", \"wall_ms\": %.3f}%s\n",
         c.key.c_str(), c.ok ? "true" : "false",
         c.expect_ok ? "true" : "false", c.violations, c.ops_complete,
@@ -917,6 +919,8 @@ bool SweepEngine::write_json(const SweepReport& report, const SweepPlan& plan,
         static_cast<unsigned long long>(c.net.bytes_sent),
         static_cast<unsigned long long>(c.write_p95),
         static_cast<unsigned long long>(c.read_p95),
+        static_cast<unsigned long long>(c.hist_peak_live),
+        static_cast<unsigned long long>(c.hist_retired),
         static_cast<unsigned long long>(c.fingerprint), c.wall_ms,
         i + 1 < report.cells.size() ? "," : "");
   }

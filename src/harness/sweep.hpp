@@ -50,6 +50,7 @@
 #include "adversary/byzantine.hpp"
 #include "harness/backend.hpp"
 #include "harness/protocol.hpp"
+#include "harness/workload.hpp"
 #include "net/stats.hpp"
 
 namespace rr::harness {
@@ -162,6 +163,20 @@ struct Scenario {
   /// watermark GC toggle. See DeploymentOptions::history_limit/history_gc.
   std::size_t history_limit{0};
   bool history_gc{true};
+  /// Open-loop workload (docs/WORKLOADS.md): any arrival other than Closed
+  /// replaces the chained mixed workload with the open-loop engine -- the
+  /// fields below size its population and horizon. Closed (the default)
+  /// keeps the legacy writes/reads_per_reader/gap workload, so every
+  /// committed scenario and grid cell is untouched.
+  ArrivalKind arrival{ArrivalKind::Closed};
+  std::uint64_t clients{256};
+  Time think{50'000};        ///< mean per-client think time (clock units)
+  Time horizon{100'000};     ///< arrival-generation window length
+  double write_fraction{0.1};
+  /// Windowed streaming checker (0 = classic batch checker). Nonzero turns
+  /// on online verify-and-retire with O(window) checker memory; verdicts
+  /// and fingerprints match batch mode bit-for-bit.
+  std::size_t checker_window{0};
 
   /// Canonical cell address: "protocol:backend:template:seed", or
   /// "scn:<name>" when named.
@@ -194,6 +209,12 @@ struct CellVerdict {
   /// NetStats). Bit-identical across runs and worker counts for the same
   /// key + plan knobs. 0 on the threads backend (nondeterministic).
   std::uint64_t fingerprint{0};
+  /// Checker residency: peak resident (unretired) ops of the largest shard
+  /// and total ops retired online. Batch cells: peak is the largest shard
+  /// history, retired is 0. Not folded into the fingerprint (observability,
+  /// not semantics).
+  std::uint64_t hist_peak_live{0};
+  std::uint64_t hist_retired{0};
   double wall_ms{0};
 };
 

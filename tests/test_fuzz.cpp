@@ -79,6 +79,45 @@ TEST(Fuzz, TenThousandScenariosRoundTripAndRespectBudget) {
   }
 }
 
+// The fuzzer explores the open-loop and windowed-checker axes: a healthy
+// fraction of generated scenarios draws a non-closed arrival process (with
+// population/think/horizon churn knobs) and an independent checker window,
+// while overload cells stay closed-loop (their stall detection predates the
+// engine and must keep failing the same way).
+TEST(Fuzz, DrawsOpenLoopArrivalsAndCheckerWindows) {
+  FuzzOptions opts;
+  opts.seed = 0xa11ceULL;
+  opts.overload_rate = 0.1;
+  const ScenarioFuzzer fuzzer(opts);
+  int open = 0;
+  int windowed = 0;
+  std::map<ArrivalKind, int> shapes;
+  for (std::uint64_t i = 0; i < 2'000; ++i) {
+    const Scenario s = fuzzer.generate(i);
+    SCOPED_TRACE("index " + std::to_string(i) + " (" + s.name + ")");
+    if (!s.expect_ok) {
+      EXPECT_EQ(s.arrival, ArrivalKind::Closed);
+      EXPECT_EQ(s.checker_window, 0u);
+      continue;
+    }
+    if (s.arrival != ArrivalKind::Closed) {
+      ++open;
+      ++shapes[s.arrival];
+      EXPECT_GE(s.clients, 1u);
+      EXPECT_GE(s.think, 1u);
+      EXPECT_GE(s.horizon, 1u);
+      EXPECT_GE(s.write_fraction, 0.0);
+      EXPECT_LE(s.write_fraction, 1.0);
+    }
+    if (s.checker_window != 0) ++windowed;
+  }
+  EXPECT_GT(open, 200) << "open-loop draws are too rare";
+  EXPECT_GT(windowed, 400) << "windowed-checker draws are too rare";
+  EXPECT_GT(shapes[ArrivalKind::Poisson], 0);
+  EXPECT_GT(shapes[ArrivalKind::Bursty], 0);
+  EXPECT_GT(shapes[ArrivalKind::Diurnal], 0);
+}
+
 // Generation is a pure function of (seed, index): regenerating yields the
 // identical batch, and distinct seeds diverge.
 TEST(Fuzz, GenerationIsDeterministicPerSeed) {

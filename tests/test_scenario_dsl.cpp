@@ -188,6 +188,60 @@ TEST(ScenarioDsl, HistoryDirectiveRoundTrips) {
   EXPECT_EQ(emit_scenario(plain.scenario).find("history"), std::string::npos);
 }
 
+TEST(ScenarioDsl, OpenLoopWorkloadKeysRoundTrip) {
+  const auto parsed = parse_scenario(
+      "scenario safe des seed=5 name=open\n"
+      "workload arrival=bursty clients=5000 think=2ms horizon=500us "
+      "write_frac=0.2 window=64\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& s = parsed.scenario;
+  EXPECT_EQ(s.arrival, ArrivalKind::Bursty);
+  EXPECT_EQ(s.clients, 5'000u);
+  EXPECT_EQ(s.think, 2'000'000u);
+  EXPECT_EQ(s.horizon, 500'000u);
+  EXPECT_DOUBLE_EQ(s.write_fraction, 0.2);
+  EXPECT_EQ(s.checker_window, 64u);
+  const std::string text = emit_scenario(s);
+  EXPECT_NE(text.find("arrival=bursty"), std::string::npos) << text;
+  const auto again = parse_scenario(text);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.scenario, s);
+  EXPECT_EQ(emit_scenario(again.scenario), text);
+  // The window is independent of the arrival process: a closed-loop
+  // scenario may still stream-check.
+  const auto closed = parse_scenario(
+      "scenario safe des seed=5 name=win\nworkload window=32\n");
+  ASSERT_TRUE(closed.ok) << closed.error;
+  EXPECT_EQ(closed.scenario.arrival, ArrivalKind::Closed);
+  EXPECT_EQ(closed.scenario.checker_window, 32u);
+  const auto closed_again = parse_scenario(emit_scenario(closed.scenario));
+  ASSERT_TRUE(closed_again.ok) << closed_again.error;
+  EXPECT_EQ(closed_again.scenario, closed.scenario);
+  // Defaults (closed loop, batch checker) emit no open-loop keys at all,
+  // keeping every committed legacy file byte-stable.
+  const auto plain = parse_scenario("scenario safe des seed=5 name=x\n");
+  ASSERT_TRUE(plain.ok);
+  const std::string plain_text = emit_scenario(plain.scenario);
+  EXPECT_EQ(plain_text.find("arrival"), std::string::npos) << plain_text;
+  EXPECT_EQ(plain_text.find("window"), std::string::npos) << plain_text;
+}
+
+TEST(ScenarioDsl, OpenLoopDesCellsReplayBitIdentically) {
+  const auto parsed = parse_scenario(
+      "scenario regular des seed=21 name=openrt\n"
+      "workload arrival=poisson clients=800 think=8ms horizon=400us "
+      "window=24\n"
+      "fault gray obj=1 slow=3x at=50us dur=100us\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto again = parse_scenario(emit_scenario(parsed.scenario));
+  ASSERT_TRUE(again.ok) << again.error;
+  const auto v1 = SweepEngine::run_cell(parsed.scenario);
+  const auto v2 = SweepEngine::run_cell(again.scenario);
+  EXPECT_EQ(v1.fingerprint, v2.fingerprint);
+  EXPECT_NE(v1.fingerprint, 0u);
+  EXPECT_GT(v1.hist_retired, 0u) << "window=24 must retire online";
+}
+
 TEST(ScenarioDsl, MalformedInputIsARejectionNotAnAbort) {
   const char* cases[] = {
       "",                                          // no scenario line
@@ -205,6 +259,13 @@ TEST(ScenarioDsl, MalformedInputIsARejectionNotAnAbort) {
       "scenario safe des\nnonsense 1 2 3\n",       // unknown directive
       "scenario regular des\nhistory limit=1\n",   // cap below two slots
       "scenario regular des\nhistory gc=maybe\n",  // bad gc value
+      "scenario safe des\nworkload arrival=warp\n",      // unknown arrival
+      "scenario safe des\nworkload clients=500\n",       // clients need open
+      "scenario safe des\nworkload think=1ms\n",         // think needs open
+      "scenario safe des\n"                              // write_frac range
+      "workload arrival=poisson write_frac=1.5\n",
+      "scenario safe des\n"                              // zero population
+      "workload arrival=poisson clients=0\n",
   };
   for (const char* text : cases) {
     SCOPED_TRACE(text);
