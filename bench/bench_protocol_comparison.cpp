@@ -10,7 +10,8 @@
 // emits BENCH_protocol_comparison.json with events/s and ops/s per protocol
 // per backend, so the perf trajectory covers both substrates.
 //
-//   --backend=des|threads|both   restrict the sweep (default both)
+//   --backend=des|threads|net|both  restrict the sweep (default both);
+//                                `net` runs the loopback-TCP socket mesh
 //   --quick                      smaller op budget (CI smoke mode)
 //   --no-benchmarks              table + JSON sweep only, skip the
 //                                google-benchmark timing loops. CI uses
@@ -214,10 +215,12 @@ void run_sweep(const std::vector<harness::BackendKind>& backends, bool quick) {
   std::vector<SweepResult> results;
   for (const auto& traits : harness::protocol_registry()) {
     for (const auto backend : backends) {
-      const bool threads = backend == harness::BackendKind::Threads;
-      // Threads rows are wall-clock samples well under a millisecond on
-      // the fast protocols; best-of-5 (vs. 3 for the DES) keeps them
-      // inside the CI tolerance band on a noisy shared runner.
+      // Threads and net rows share the wall-clock budget: both measure
+      // real elapsed time, so both need the warmup and the larger budget.
+      const bool threads = backend != harness::BackendKind::Sim;
+      // Wall-clock rows are samples well under a millisecond on the fast
+      // protocols; best-of-5 (vs. 3 for the DES) keeps them inside the CI
+      // tolerance band on a noisy shared runner.
       results.push_back(run_one(traits, backend,
                                 threads ? threads_ops_budget : ops_budget,
                                 threads ? threads_warmup_waves : 0,
@@ -356,8 +359,8 @@ int main(int argc, char** argv) {
       } else if (const auto kind = harness::backend_from_name(which)) {
         backends = {*kind};
       } else {
-        std::fprintf(stderr, "unknown backend '%s' (des|threads|both)\n",
-                     which.c_str());
+        std::fprintf(stderr, "unknown backend '%s' (%s|both)\n",
+                     which.c_str(), harness::backend_names().c_str());
         return 2;
       }
     } else if (std::strcmp(argv[i], "--quick") == 0) {

@@ -91,7 +91,7 @@ struct Args {
 void usage() {
   std::printf(
       "usage: example_scenario_cli [--protocol=%s]\n"
-      "  [--backend=des|threads] [--shards=K]\n"
+      "  [--backend=des|threads|net] [--shards=K]\n"
       "  [--t=N] [--b=N] [--readers=N] [--byzantine=STRATEGY] "
       "[--byz-count=N]\n"
       "  [--crashes=N] [--writes=N] [--reads=N] [--history-limit=N] "
@@ -119,8 +119,8 @@ int main(int argc, char** argv) {
   }
   const auto backend = harness::backend_from_name(a.backend);
   if (!backend) {
-    std::fprintf(stderr, "unknown backend '%s' (known: des, threads)\n",
-                 a.backend.c_str());
+    std::fprintf(stderr, "unknown backend '%s' (known: %s)\n",
+                 a.backend.c_str(), harness::backend_names().c_str());
     return 2;
   }
   if (a.shards < 1) {

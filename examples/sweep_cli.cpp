@@ -61,7 +61,8 @@ std::vector<std::string> split_commas(const std::string& in) {
 void usage() {
   std::printf(
       "usage: sweep_cli [--quick] [--protocols=%s|all,...]\n"
-      "  [--backends=des|threads|both] [--templates=none,crash,byz,mixed,"
+      "  [--backends=des,threads,net|both|all] [--templates=none,crash,byz,"
+      "mixed,"
       "chaos,byzchaos,overload|default]\n"
       "  (default = the 6 budget-respecting templates; the deliberately-"
       "failing overload\n   template must be named explicitly)\n"
@@ -259,15 +260,24 @@ int main(int argc, char** argv) {
     } else if (auto v = value("backends")) {
       grid_given = true;
       backends_given = true;
-      if (*v == "both") {
-        plan.backends = {harness::BackendKind::Sim,
-                         harness::BackendKind::Threads};
-      } else if (const auto kind = harness::backend_from_name(*v)) {
-        plan.backends = {*kind};
-      } else {
-        std::fprintf(stderr, "unknown backend '%s' (des|threads|both)\n",
-                     v->c_str());
-        return 2;
+      plan.backends.clear();
+      for (const auto& name : split_commas(*v)) {
+        if (name == "both") {
+          // Historical spelling for the two original substrates; "all"
+          // follows the registry (currently adds the net backend).
+          plan.backends.push_back(harness::BackendKind::Sim);
+          plan.backends.push_back(harness::BackendKind::Threads);
+        } else if (name == "all") {
+          for (const auto& t : harness::backend_registry()) {
+            plan.backends.push_back(t.kind);
+          }
+        } else if (const auto kind = harness::backend_from_name(name)) {
+          plan.backends.push_back(*kind);
+        } else {
+          std::fprintf(stderr, "unknown backend '%s' (%s|both|all)\n",
+                       name.c_str(), harness::backend_names().c_str());
+          return 2;
+        }
       }
     } else if (auto v = value("templates")) {
       templates_given = true;

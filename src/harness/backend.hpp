@@ -17,7 +17,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 #include "net/faults.hpp"
@@ -30,12 +32,16 @@ class World;
 namespace rr::runtime {
 class Cluster;
 }
+namespace rr::netio {
+class Mesh;
+}
 
 namespace rr::harness {
 
 enum class BackendKind {
   Sim,      ///< deterministic discrete-event simulator (sim::World)
   Threads,  ///< real threads with mailbox queues (runtime::Cluster)
+  Net,      ///< real loopback-TCP sockets + epoll loops (netio::Mesh)
 };
 
 [[nodiscard]] const char* to_string(BackendKind k);
@@ -70,13 +76,20 @@ struct BackendConfig {
   /// Threads only: cap on the consumer's adaptive pre-park spin
   /// (iterations; 0 parks immediately).
   std::uint32_t threads_max_spin{256};
-  /// Threads only: bounded run deadline (milliseconds; 0 = disabled). With
-  /// a deadline, a run() that fails to quiesce STOPS the cluster and
+  /// Threads + net: bounded run deadline (milliseconds; 0 = disabled).
+  /// With a deadline, a run() that fails to quiesce STOPS the substrate and
   /// reports through Backend::timed_out() instead of aborting the process
   /// -- so a sweep cell whose fault plan stalls its quorums (e.g. the
   /// overload template) degrades to a liveness-failure verdict. Without a
   /// deadline, non-quiescence stays fatal after run_timeout_ms.
   std::uint64_t max_wall_time_ms{0};
+
+  /// Net only: per-frame payload cap the streaming decoder enforces (a
+  /// larger length prefix is hostile, not a big message).
+  std::uint32_t net_max_frame_bytes{16u << 20};
+  /// Net only: a frame (or handshake) stuck mid-read longer than this is a
+  /// truncating peer -- counted, connection dropped, reconnect takes over.
+  std::uint64_t net_frame_timeout_ms{5'000};
 };
 
 /// The runtime contract every execution substrate must honor. A new backend
@@ -175,7 +188,27 @@ class Backend {
   /// backend is not of that kind.
   [[nodiscard]] virtual sim::World* world() { return nullptr; }
   [[nodiscard]] virtual runtime::Cluster* cluster() { return nullptr; }
+  [[nodiscard]] virtual netio::Mesh* mesh() { return nullptr; }
 };
+
+/// One row of the backend registry: everything the harness needs to offer a
+/// substrate -- its kind, canonical name, accepted aliases, a one-line
+/// summary for CLI help text, and a factory. Mirrors the protocol-traits
+/// registry: adding a backend is one entry in backend.cpp, and name
+/// parsing, to_string and make_backend all follow automatically.
+struct BackendTraits {
+  BackendKind kind;
+  const char* name;     ///< canonical name (to_string, JSON keys)
+  const char* alias;    ///< one accepted alternate spelling (or nullptr)
+  const char* summary;  ///< one-liner for --help text
+  std::unique_ptr<Backend> (*make)(const BackendConfig& cfg);
+};
+
+/// The full table, in BackendKind declaration order.
+[[nodiscard]] const std::vector<BackendTraits>& backend_registry();
+
+/// "des|threads|net" -- the registry's canonical names, for error messages.
+[[nodiscard]] std::string backend_names();
 
 /// Builds a backend of `kind` from the neutral configuration.
 [[nodiscard]] std::unique_ptr<Backend> make_backend(BackendKind kind,

@@ -109,7 +109,7 @@ Scenario ScenarioFuzzer::generate(std::uint64_t index) const {
   s.run_seed = rng() | 1;
   // Threads cells carry a generous deadline: a generator or runtime bug
   // then degrades to a liveness verdict instead of hanging the lane.
-  if (s.backend == BackendKind::Threads) s.max_wall_ms = 20'000;
+  if (s.backend != BackendKind::Sim) s.max_wall_ms = 20'000;
 
   // Open-loop arrival draw (~30% of non-overload cells): shape, population
   // and think time together are the client-churn knob -- diurnal ramps the

@@ -261,7 +261,7 @@ ScenarioParseResult parse_scenario(std::string_view text) {
                                               "'");
       const auto backend = backend_from_name(tokens[2]);
       if (!backend) return fail(line_no, "unknown backend '" + tokens[2] +
-                                             "' (des|threads)");
+                                             "' (" + backend_names() + ")");
       s.protocol = *protocol;
       s.backend = *backend;
       const KvArgs kv(tokens, 3);

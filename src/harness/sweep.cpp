@@ -293,9 +293,10 @@ Scenario SweepEngine::materialize(Protocol p, BackendKind backend,
   // Pin the deployment seed the legacy rule derives from the coordinates,
   // so an emitted scenario file replays bit-identically to its grid twin.
   s.run_seed = fold(cell_seed(p, backend, tmpl, seed), 0x5eedull);
-  // Overload stalls quorums forever; under real threads a bounded deadline
-  // turns that into a liveness verdict instead of a process abort.
-  if (tmpl == FaultTemplate::Overload && backend == BackendKind::Threads) {
+  // Overload stalls quorums forever; on every real-time substrate (threads,
+  // sockets) a bounded deadline turns that into a liveness verdict instead
+  // of a process abort.
+  if (tmpl == FaultTemplate::Overload && backend != BackendKind::Sim) {
     s.max_wall_ms = 10'000;
   }
 

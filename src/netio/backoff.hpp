@@ -1,0 +1,41 @@
+// Bounded exponential backoff with jitter for reconnect attempts.
+//
+// Pure function of (policy, attempt, rng draw) so tests can pin the whole
+// schedule: attempt 0 connects immediately, attempt k >= 1 waits
+// min(cap, base * 2^(k-1)) stretched by a uniform factor in
+// [1 - jitter, 1 + jitter]. Jitter keeps a mesh of initiators that all lost
+// the same peer from reconnecting in lockstep.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rr::netio {
+
+struct BackoffPolicy {
+  Time base_ns{1'000'000};    ///< first retry delay (1 ms)
+  Time cap_ns{100'000'000};   ///< ceiling on the nominal delay (100 ms)
+  double jitter{0.25};        ///< uniform stretch, +/- this fraction
+};
+
+/// Nominal (jitter-free) delay before attempt `attempt`.
+[[nodiscard]] inline Time backoff_nominal_ns(const BackoffPolicy& p,
+                                             std::uint32_t attempt) {
+  if (attempt == 0) return 0;
+  Time d = p.base_ns;
+  for (std::uint32_t i = 1; i < attempt && d < p.cap_ns; ++i) d *= 2;
+  return d < p.cap_ns ? d : p.cap_ns;
+}
+
+/// Jittered delay before attempt `attempt` (one rng draw per call).
+[[nodiscard]] inline Time backoff_delay_ns(const BackoffPolicy& p,
+                                           std::uint32_t attempt, Rng& rng) {
+  const Time nominal = backoff_nominal_ns(p, attempt);
+  if (nominal == 0 || p.jitter <= 0) return nominal;
+  const double stretch = 1.0 + p.jitter * (2.0 * rng.uniform01() - 1.0);
+  return static_cast<Time>(static_cast<double>(nominal) * stretch);
+}
+
+}  // namespace rr::netio

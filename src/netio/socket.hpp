@@ -1,0 +1,56 @@
+// Thin RAII + loopback-TCP helpers under the net backend's epoll loops.
+//
+// Everything is non-blocking: accept/connect/read/write never park a node
+// thread -- readiness is epoll's job, robustness (backoff, timeouts,
+// reconnects) is netio::Mesh's. Linux-only, like the epoll loop above it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace rr::netio {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+ private:
+  int fd_{-1};
+};
+
+[[nodiscard]] bool set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+/// Binds 127.0.0.1 on an ephemeral port and listens (non-blocking).
+/// Writes the chosen port to `port_out`; returns an invalid Fd on failure.
+[[nodiscard]] Fd listen_loopback(std::uint16_t& port_out);
+
+/// Starts a non-blocking connect to 127.0.0.1:port. On return, either the
+/// socket is connected, or `in_progress` is true and completion must be
+/// observed via EPOLLOUT + SO_ERROR, or the Fd is invalid (immediate
+/// failure -- caller schedules a backoff retry).
+[[nodiscard]] Fd connect_loopback(std::uint16_t port, bool& in_progress);
+
+/// SO_ERROR after an EPOLLOUT on an in-progress connect; 0 means connected.
+[[nodiscard]] int pending_connect_error(int fd);
+
+}  // namespace rr::netio

@@ -24,7 +24,7 @@ DeploymentOptions base_options(Protocol p, BackendKind backend) {
   opts.res = protocol_traits(p).resilience_for(2, 2, 2);
   opts.seed = 90210;
   opts.reserialize = true;  // prove automata survive the codec on both paths
-  if (backend == BackendKind::Threads) opts.thread_jitter_us = 20;
+  if (backend != BackendKind::Sim) opts.thread_jitter_us = 20;
   return opts;
 }
 
@@ -101,7 +101,7 @@ TEST_P(CrossBackendEveryProtocol, ShardedDeploymentPassesPerShardChecks) {
     opts.shards = 4;
     opts.seed = 4242;
     opts.reserialize = true;
-    if (GetParam() == BackendKind::Threads) opts.thread_jitter_us = 10;
+    if (GetParam() != BackendKind::Sim) opts.thread_jitter_us = 10;
     Deployment d(std::move(opts));
     MixedWorkloadOptions w;
     w.writes = 6;
@@ -123,11 +123,13 @@ TEST_P(CrossBackendEveryProtocol, ShardedDeploymentPassesPerShardChecks) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, CrossBackendEveryProtocol,
                          ::testing::Values(BackendKind::Sim,
-                                           BackendKind::Threads),
+                                           BackendKind::Threads,
+                                           BackendKind::Net),
                          [](const auto& info) {
-                           return std::string(to_string(info.param)) == "des"
-                                      ? "Des"
-                                      : "Threads";
+                           const std::string name = to_string(info.param);
+                           if (name == "des") return std::string("Des");
+                           if (name == "net") return std::string("Net");
+                           return std::string("Threads");
                          });
 
 TEST(ShardLayoutTest, PidMappingRoundTrips) {

@@ -25,7 +25,7 @@ Scenario base_scenario(BackendKind backend) {
   s.writes = 5;
   s.reads_per_reader = 4;
   s.name = "prim";  // library-style cell: run_seed derived, key scn:prim
-  if (backend == BackendKind::Threads) {
+  if (backend != BackendKind::Sim) {
     s.max_wall_ms = 10'000;  // stalls degrade to a verdict, never a hang
   }
   return s;
@@ -119,7 +119,8 @@ TEST_P(FaultPrimitivesOnBothBackends, GrayProcessStaysCorrectJustSlow) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, FaultPrimitivesOnBothBackends,
                          ::testing::Values(BackendKind::Sim,
-                                           BackendKind::Threads),
+                                           BackendKind::Threads,
+                                           BackendKind::Net),
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
